@@ -1,0 +1,64 @@
+// Command wishbench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	wishbench -exp all            # every experiment, paper order
+//	wishbench -exp fig10,fig12    # specific experiments
+//	wishbench -list               # list experiment IDs
+//	wishbench -scale 2.0 -exp fig2
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"wishbranch/internal/exp"
+	"wishbranch/internal/workload"
+)
+
+func main() {
+	var (
+		expFlag = flag.String("exp", "all", "comma-separated experiment IDs, or 'all'")
+		list    = flag.Bool("list", false, "list experiment IDs and exit")
+		scale   = flag.Float64("scale", 1.0, "workload size multiplier (1.0 = reduced-input default)")
+		verbose = flag.Bool("v", false, "log each fresh simulation to stderr")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range exp.All() {
+			fmt.Printf("%-8s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+	workload.Scale = *scale
+
+	lab := exp.NewLab()
+	if *verbose {
+		lab.Log = os.Stderr
+	}
+
+	var runIDs []string
+	if *expFlag == "all" {
+		runIDs = exp.IDs()
+	} else {
+		runIDs = strings.Split(*expFlag, ",")
+	}
+	for _, id := range runIDs {
+		e, ok := exp.ByID(strings.TrimSpace(id))
+		if !ok {
+			fmt.Fprintf(os.Stderr, "wishbench: unknown experiment %q (try -list)\n", id)
+			os.Exit(1)
+		}
+		start := time.Now()
+		fmt.Printf("==== %s: %s ====\n", e.ID, e.Title)
+		if err := e.Run(lab, os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "wishbench: %s: %v\n", e.ID, err)
+			os.Exit(1)
+		}
+		fmt.Printf("(%s completed in %v)\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+	}
+}

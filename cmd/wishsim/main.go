@@ -1,0 +1,137 @@
+// Command wishsim runs one simulation and prints its statistics:
+// a single (benchmark, input, binary variant, machine) combination.
+//
+// Usage:
+//
+//	wishsim -bench mcf -input A -variant wish-jjl
+//	wishsim -bench gzip -variant base-max -window 256 -depth 20
+//	wishsim -bench vpr -variant wish-jjl -disasm   # dump the binary
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"wishbranch/internal/compiler"
+	"wishbranch/internal/config"
+	"wishbranch/internal/cpu"
+	"wishbranch/internal/workload"
+)
+
+func main() {
+	var (
+		bench    = flag.String("bench", "gzip", "benchmark: gzip vpr mcf crafty parser gap vortex bzip2 twolf")
+		input    = flag.String("input", "A", "input set: A, B or C")
+		variant  = flag.String("variant", "normal", "binary: normal base-def base-max wish-jj wish-jjl")
+		window   = flag.Int("window", 512, "instruction window (ROB) size")
+		depth    = flag.Int("depth", 30, "pipeline depth in stages")
+		selUop   = flag.Bool("select-uop", false, "use select-µop predication instead of C-style")
+		perfBP   = flag.Bool("perfect-bp", false, "oracle: perfect conditional branch prediction")
+		perfConf = flag.Bool("perfect-conf", false, "oracle: perfect wish-branch confidence")
+		noDep    = flag.Bool("no-depend", false, "oracle: remove predicate dependencies (NO-DEPEND)")
+		noFetch  = flag.Bool("no-fetch", false, "oracle: remove predicated-false µops (NO-FETCH)")
+		scale    = flag.Float64("scale", 1.0, "workload size multiplier")
+		disasm   = flag.Bool("disasm", false, "print the compiled binary and exit")
+	)
+	flag.Parse()
+	workload.Scale = *scale
+
+	b, ok := workload.ByName(*bench)
+	if !ok {
+		fail("unknown benchmark %q", *bench)
+	}
+	var in workload.Input
+	switch *input {
+	case "A", "a":
+		in = workload.InputA
+	case "B", "b":
+		in = workload.InputB
+	case "C", "c":
+		in = workload.InputC
+	default:
+		fail("unknown input %q", *input)
+	}
+	var v compiler.Variant
+	switch *variant {
+	case "normal":
+		v = compiler.NormalBranch
+	case "base-def":
+		v = compiler.BaseDef
+	case "base-max":
+		v = compiler.BaseMax
+	case "wish-jj":
+		v = compiler.WishJumpJoin
+	case "wish-jjl":
+		v = compiler.WishJumpJoinLoop
+	default:
+		fail("unknown variant %q", *variant)
+	}
+
+	src, mem := b.Build(in)
+	p, err := compiler.Compile(src, v)
+	if err != nil {
+		fail("compile: %v", err)
+	}
+	if *disasm {
+		fmt.Print(p.Disassemble())
+		return
+	}
+
+	m := config.DefaultMachine().WithWindow(*window).WithDepth(*depth)
+	if *selUop {
+		m = m.WithSelectUop()
+	}
+	m.PerfectBP = *perfBP
+	m.PerfectConfidence = *perfConf
+	m.NoPredDepend = *noDep
+	m.NoFalseFetch = *noFetch
+
+	c, err := cpu.New(m, p, mem)
+	if err != nil {
+		fail("cpu: %v", err)
+	}
+	res, err := c.Run(0)
+	if err != nil {
+		fail("run: %v", err)
+	}
+	printResult(*bench, in, v, res)
+}
+
+func printResult(bench string, in workload.Input, v compiler.Variant, r *cpu.Result) {
+	fmt.Printf("%s / %v / %v\n", bench, in, v)
+	fmt.Printf("  cycles            %12d\n", r.Cycles)
+	fmt.Printf("  retired µops      %12d (%.2f µPC)\n", r.RetiredUops, r.UPC())
+	fmt.Printf("  fetched µops      %12d (%d squashed)\n", r.FetchedUops, r.Squashed)
+	fmt.Printf("  cond branches     %12d (%.1f mispred/1Kµops, %d flushes)\n",
+		r.CondBranches, r.MispredPer1K(), r.Flushes)
+	for _, wc := range []struct {
+		name string
+		c    cpu.WishClass
+		loop bool
+	}{
+		{"wish jumps", r.WishJump, false},
+		{"wish joins", r.WishJoin, false},
+		{"wish loops", r.WishLoop, true},
+	} {
+		if wc.c.Total() == 0 {
+			continue
+		}
+		fmt.Printf("  %-17s %12d  high %d/%d correct, low %d/%d correct",
+			wc.name, wc.c.Total(),
+			wc.c.HighCorrect, wc.c.HighCorrect+wc.c.HighMispred,
+			wc.c.LowCorrect, wc.c.LowCorrect+wc.c.LowMispred)
+		if wc.loop && wc.c.LowMispred > 0 {
+			fmt.Printf(" (early %d, late %d, no-exit %d)",
+				wc.c.LowEarly, wc.c.LowLate, wc.c.LowNoExit)
+		}
+		fmt.Println()
+	}
+	fmt.Printf("  L1I %5.2f%%  L1D %5.2f%%  L2 %5.2f%% miss  (%d memory accesses)\n",
+		100*r.L1I.MissRate(), 100*r.L1D.MissRate(), 100*r.L2.MissRate(), r.Mem.Accesses)
+}
+
+func fail(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "wishsim: "+format+"\n", args...)
+	os.Exit(1)
+}

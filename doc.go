@@ -1,0 +1,14 @@
+// Package wishbranch reproduces "Wish Branches: Combining Conditional
+// Branching and Predication for Adaptive Predicated Execution"
+// (Kim, Mutlu, Stark, Patt — MICRO-38, 2005) as a self-contained Go
+// library: a predicated µop ISA, an if-converting compiler that emits
+// the paper's five binary variants, a cycle-level out-of-order
+// processor with the full wish-branch hardware, nine synthetic SPEC INT
+// 2000 stand-in workloads, and a harness that regenerates every table
+// and figure of the paper's evaluation.
+//
+// See README.md for a tour, DESIGN.md for the system inventory and the
+// per-experiment index, and EXPERIMENTS.md for paper-vs-measured
+// results. The top-level bench_test.go regenerates each experiment as a
+// Go benchmark; cmd/wishbench does the same as a CLI.
+package wishbranch

@@ -1,0 +1,3 @@
+module wishbranch
+
+go 1.22

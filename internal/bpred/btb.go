@@ -1,0 +1,155 @@
+package bpred
+
+// BTBEntry is what the front end learns about a branch from the BTB.
+// Per §3.5.1 of the paper, a BTB entry is extended to indicate whether
+// the branch is a wish branch and the wish branch type, so the fetch
+// stage can act on wish semantics before decode.
+type BTBEntry struct {
+	Target int  // µop index of the taken target
+	IsWish bool // wish-branch hint bit (Figure 7 btype)
+	WType  uint8
+	IsCond bool
+	IsRet  bool
+}
+
+// BTB is a set-associative branch target buffer with LRU replacement.
+type BTB struct {
+	ways    int
+	setMask uint64
+	tags    [][]uint64 // 0 = invalid; stored as pc+1
+	data    [][]BTBEntry
+	lru     [][]uint32
+	clock   uint32
+
+	Lookups, Hits uint64
+}
+
+// NewBTB builds a BTB with the given number of entries (power of two)
+// and associativity. The paper's baseline is 4K entries, 4-way.
+func NewBTB(entries, ways int) *BTB {
+	if entries <= 0 || entries&(entries-1) != 0 || ways <= 0 || entries%ways != 0 {
+		panic("bpred: BTB entries must be a power of two divisible by ways")
+	}
+	sets := entries / ways
+	b := &BTB{ways: ways, setMask: uint64(sets - 1)}
+	b.tags = make([][]uint64, sets)
+	b.data = make([][]BTBEntry, sets)
+	b.lru = make([][]uint32, sets)
+	for i := range b.tags {
+		b.tags[i] = make([]uint64, ways)
+		b.data[i] = make([]BTBEntry, ways)
+		b.lru[i] = make([]uint32, ways)
+	}
+	return b
+}
+
+// Lookup returns the entry for the branch at pc, if present.
+func (b *BTB) Lookup(pc uint64) (BTBEntry, bool) {
+	b.Lookups++
+	set := pc & b.setMask
+	for w := 0; w < b.ways; w++ {
+		if b.tags[set][w] == pc+1 {
+			b.clock++
+			b.lru[set][w] = b.clock
+			b.Hits++
+			return b.data[set][w], true
+		}
+	}
+	return BTBEntry{}, false
+}
+
+// Insert installs or updates the entry for pc, evicting LRU on
+// conflict.
+func (b *BTB) Insert(pc uint64, e BTBEntry) {
+	set := pc & b.setMask
+	victim := 0
+	for w := 0; w < b.ways; w++ {
+		if b.tags[set][w] == pc+1 {
+			victim = w
+			break
+		}
+		if b.tags[set][w] == 0 {
+			victim = w
+			break
+		}
+		if b.lru[set][w] < b.lru[set][victim] {
+			victim = w
+		}
+	}
+	b.clock++
+	b.tags[set][victim] = pc + 1
+	b.data[set][victim] = e
+	b.lru[set][victim] = b.clock
+}
+
+// RAS is a fixed-depth return address stack with overwrite-on-overflow
+// semantics and cheap top-of-stack repair.
+type RAS struct {
+	stack []int
+	top   int // index of next push slot
+}
+
+// NewRAS returns a RAS with the given depth (the paper uses 64).
+func NewRAS(depth int) *RAS {
+	if depth <= 0 {
+		panic("bpred: RAS depth must be positive")
+	}
+	return &RAS{stack: make([]int, depth)}
+}
+
+// Push records a return address (µop index) at a call.
+func (r *RAS) Push(retPC int) {
+	r.stack[r.top] = retPC
+	r.top = (r.top + 1) % len(r.stack)
+}
+
+// Pop predicts the target of a return.
+func (r *RAS) Pop() int {
+	r.top = (r.top - 1 + len(r.stack)) % len(r.stack)
+	return r.stack[r.top]
+}
+
+// Snapshot captures top-of-stack state for flush repair.
+func (r *RAS) Snapshot() (top int, val int) {
+	return r.top, r.stack[r.top%len(r.stack)]
+}
+
+// Restore rewinds to a snapshot (TOS-pointer repair; entries clobbered
+// by deeper wrong-path call/return pairs are not recovered, as in real
+// hardware without a full checkpoint).
+func (r *RAS) Restore(top, val int) {
+	r.top = top
+	r.stack[top%len(r.stack)] = val
+}
+
+// IndirectCache predicts indirect branch targets: a direct-mapped table
+// indexed by PC XORed with global history (the paper's 64K-entry
+// indirect target cache).
+type IndirectCache struct {
+	targets []int
+	mask    uint64
+}
+
+// NewIndirectCache builds the cache; entries must be a power of two.
+func NewIndirectCache(entries int) *IndirectCache {
+	if entries <= 0 || entries&(entries-1) != 0 {
+		panic("bpred: indirect cache entries must be a power of two")
+	}
+	t := make([]int, entries)
+	for i := range t {
+		t[i] = -1
+	}
+	return &IndirectCache{targets: t, mask: uint64(entries - 1)}
+}
+
+// Lookup predicts the target for the indirect branch at pc under
+// history hist; ok is false if no target has been learned.
+func (c *IndirectCache) Lookup(pc, hist uint64) (int, bool) {
+	t := c.targets[(pc^hist)&c.mask]
+	return t, t >= 0
+}
+
+// Update learns the actual target.
+func (c *IndirectCache) Update(pc, hist uint64, target int) {
+	c.targets[(pc^hist)&c.mask] = target
+}

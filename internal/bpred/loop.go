@@ -1,0 +1,92 @@
+package bpred
+
+// LoopPredictor predicts backward (loop) branch directions by learning
+// trip counts, in the spirit of Sherwood & Calder's loop termination
+// predictor, which the paper cites as the kind of specialized predictor
+// a wish loop can exploit (§3.2). It can be biased to over-estimate the
+// trip count so that a hard-to-predict wish loop mispredicts as
+// late-exit (cheap) rather than early-exit (pipeline flush) — exactly
+// the bias the paper suggests.
+//
+// The predictor is consulted in addition to the hybrid: when an entry
+// is confident, its direction overrides the hybrid's.
+type LoopPredictor struct {
+	entries []loopEntry
+	mask    uint64
+	// Bias is added to the learned trip count before comparison; a
+	// positive bias over-estimates iterations (favoring late-exit).
+	Bias int
+	// ConfThreshold is how many identical trip counts in a row an entry
+	// needs before it overrides the hybrid.
+	ConfThreshold int
+}
+
+type loopEntry struct {
+	tag     uint64 // pc+1; 0 = invalid
+	trip    int    // learned iteration count (taken count + 1 exit)
+	specCnt int    // speculative count of consecutive taken fetches
+	commCnt int    // committed count
+	conf    int    // consecutive confirmations of trip
+}
+
+// NewLoopPredictor builds a loop predictor with the given number of
+// entries (power of two).
+func NewLoopPredictor(entries int) *LoopPredictor {
+	if entries <= 0 || entries&(entries-1) != 0 {
+		panic("bpred: loop predictor entries must be a power of two")
+	}
+	return &LoopPredictor{
+		entries:       make([]loopEntry, entries),
+		mask:          uint64(entries - 1),
+		ConfThreshold: 2,
+	}
+}
+
+func (l *LoopPredictor) at(pc uint64) *loopEntry { return &l.entries[pc&l.mask] }
+
+// Lookup predicts the direction of the loop branch at pc. override
+// reports whether the predictor is confident enough to override the
+// hybrid's direction. Speculative per-iteration state advances on each
+// lookup and is repaired on flush via ResetSpec.
+func (l *LoopPredictor) Lookup(pc uint64) (taken, override bool) {
+	e := l.at(pc)
+	if e.tag != pc+1 || e.conf < l.ConfThreshold {
+		return false, false
+	}
+	taken = e.specCnt+1 < e.trip+l.Bias
+	e.specCnt++
+	if !taken {
+		e.specCnt = 0
+	}
+	return taken, true
+}
+
+// Commit trains the entry with the actual outcome of the loop branch.
+func (l *LoopPredictor) Commit(pc uint64, taken bool) {
+	e := l.at(pc)
+	if e.tag != pc+1 {
+		*e = loopEntry{tag: pc + 1}
+	}
+	if taken {
+		e.commCnt++
+		return
+	}
+	// Loop exited: commCnt taken iterations happened before this exit.
+	trip := e.commCnt + 1
+	if trip == e.trip {
+		e.conf++
+	} else {
+		e.trip = trip
+		e.conf = 0
+	}
+	e.commCnt = 0
+	e.specCnt = 0
+}
+
+// ResetSpec clears speculative iteration counts after a flush (they are
+// rebuilt from committed state).
+func (l *LoopPredictor) ResetSpec() {
+	for i := range l.entries {
+		l.entries[i].specCnt = l.entries[i].commCnt
+	}
+}

@@ -1,0 +1,198 @@
+package cache
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func tiny(next backend) *Cache {
+	return New(Config{Name: "t", SizeBytes: 1024, LineBytes: 64, Ways: 2, Latency: 2}, next)
+}
+
+// fixedBackend services every fill with a constant delay.
+type fixedBackend struct {
+	delay uint64
+	fills int
+}
+
+func (f *fixedBackend) fill(addr uint64, cycle uint64) uint64 {
+	f.fills++
+	return cycle + f.delay
+}
+
+func TestMissThenHit(t *testing.T) {
+	fb := &fixedBackend{delay: 100}
+	c := tiny(fb)
+	done := c.Access(0x1000, 0, false)
+	if done < 100 {
+		t.Errorf("miss done at %d, want >= 100", done)
+	}
+	// Second access after the fill completes: hit latency.
+	done2 := c.Access(0x1008, done, false)
+	if done2 != done+2 {
+		t.Errorf("hit done at %d, want %d", done2, done+2)
+	}
+	if fb.fills != 1 {
+		t.Errorf("fills = %d, want 1", fb.fills)
+	}
+	if c.Stats.Accesses != 2 || c.Stats.Misses != 1 {
+		t.Errorf("stats = %+v", c.Stats)
+	}
+}
+
+// TestInFlightLineMerge: an access to a line whose fill has not yet
+// completed must wait for the fill (MSHR merge), not return hit
+// latency — the bug class that once made pointer chases free.
+func TestInFlightLineMerge(t *testing.T) {
+	fb := &fixedBackend{delay: 300}
+	c := tiny(fb)
+	done := c.Access(0x2000, 0, false) // miss: ready ~302
+	early := c.Access(0x2008, 5, false)
+	if early < done {
+		t.Errorf("same-line access during fill completed at %d, before fill at %d", early, done)
+	}
+}
+
+func TestLRUReplacement(t *testing.T) {
+	fb := &fixedBackend{delay: 10}
+	c := tiny(fb) // 1KB, 64B lines, 2-way: 8 sets, set stride 512B
+	a, b, d := uint64(0), uint64(512), uint64(1024)
+	c.Access(a, 0, false)
+	c.Access(b, 100, false)
+	c.Access(a, 200, false) // touch a: b is now LRU
+	c.Access(d, 300, false) // evicts b
+	if !c.Contains(a) || !c.Contains(d) {
+		t.Error("wrong victim")
+	}
+	if c.Contains(b) {
+		t.Error("LRU line not evicted")
+	}
+}
+
+func TestWriteBackDirtyEviction(t *testing.T) {
+	fb := &fixedBackend{delay: 10}
+	c := tiny(fb)
+	c.Access(0, 0, true) // dirty
+	c.Access(512, 100, false)
+	fills := fb.fills
+	c.Access(1024, 200, false) // evicts dirty line 0 -> extra writeback fill
+	if fb.fills != fills+2 {
+		t.Errorf("fills = %d, want %d (fill + writeback)", fb.fills, fills+2)
+	}
+}
+
+func TestBankConflictSerializes(t *testing.T) {
+	cfg := Config{Name: "b", SizeBytes: 4096, LineBytes: 64, Ways: 4, Latency: 6, Banks: 2}
+	fb := &fixedBackend{delay: 0}
+	c := New(cfg, fb)
+	// Warm two lines in the same bank (line addresses differ by 2 lines).
+	c.Access(0, 0, false)
+	c.Access(128, 0, false)
+	// Simultaneous hits to the same bank: the second starts a cycle later.
+	d1 := c.Access(0, 1000, false)
+	d2 := c.Access(128, 1000, false)
+	if d2 != d1+1 {
+		t.Errorf("same-bank accesses done at %d and %d, want 1 cycle apart", d1, d2)
+	}
+	// Different banks proceed in parallel.
+	c.Access(64, 0, false)
+	d3 := c.Access(0, 2000, false)
+	d4 := c.Access(64, 2000, false)
+	if d3 != d4 {
+		t.Errorf("different banks serialized: %d vs %d", d3, d4)
+	}
+}
+
+func TestMemoryMinLatencyAndBus(t *testing.T) {
+	m := NewMemory()
+	d := m.fill(0, 0)
+	if d < uint64(m.MinLatency) {
+		t.Errorf("memory access done at %d, want >= %d", d, m.MinLatency)
+	}
+	// Bus serialization: two simultaneous fills to different banks still
+	// share the bus.
+	d2 := m.fill(64, 0)
+	if d2 < d+uint64(m.BusCycles) {
+		t.Errorf("second line transfer at %d, want >= %d", d2, d+uint64(m.BusCycles))
+	}
+}
+
+func TestHierarchyInclusionPath(t *testing.T) {
+	h := NewHierarchy(DefaultHierarchyConfig())
+	// First access: L1 miss, L2 miss, memory.
+	d := h.AccessD(0x10000, 0, false)
+	if d < 300 {
+		t.Errorf("cold access done at %d, want >= 300", d)
+	}
+	if h.Mem.Stats.Accesses != 1 {
+		t.Errorf("memory accesses = %d", h.Mem.Stats.Accesses)
+	}
+	// Re-access after fill: L1 hit.
+	d2 := h.AccessD(0x10000, d, false)
+	if d2 != d+uint64(h.L1D.cfg.Latency) {
+		t.Errorf("warm access done at %d, want %d", d2, d+2)
+	}
+	// Instruction side is independent of data side at L1.
+	h.AccessI(0x10000, d)
+	if h.L1I.Stats.Accesses != 1 {
+		t.Error("L1I not accessed")
+	}
+}
+
+func TestL1EvictionStillHitsL2(t *testing.T) {
+	cfg := DefaultHierarchyConfig()
+	cfg.L1D = Config{Name: "L1D", SizeBytes: 128, LineBytes: 64, Ways: 1, Latency: 2}
+	h := NewHierarchy(cfg)
+	h.AccessD(0, 0, false)
+	h.AccessD(128, 1000, false) // evicts line 0 from tiny direct-mapped L1
+	start := uint64(10000)
+	d := h.AccessD(0, start, false)
+	// L1 miss + L2 hit: well under memory latency.
+	if d > start+50 {
+		t.Errorf("L2 hit took %d cycles", d-start)
+	}
+	if h.Mem.Stats.Accesses != 2 {
+		t.Errorf("memory accesses = %d, want 2", h.Mem.Stats.Accesses)
+	}
+}
+
+// Property: completion time is never before start + hit latency, and
+// never moves backwards for monotonically increasing request times to
+// the same line.
+func TestMonotoneCompletionProperty(t *testing.T) {
+	f := func(addrSeed uint16, gaps []uint8) bool {
+		fb := &fixedBackend{delay: 50}
+		c := tiny(fb)
+		addr := uint64(addrSeed) * 8
+		cycle, last := uint64(0), uint64(0)
+		for _, g := range gaps {
+			cycle += uint64(g)
+			done := c.Access(addr, cycle, false)
+			if done < cycle+2 {
+				return false
+			}
+			if done < last && cycle >= last {
+				return false
+			}
+			last = done
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	for _, cfg := range []Config{
+		{SizeBytes: 1024, LineBytes: 60, Ways: 2},
+		{SizeBytes: 1000, LineBytes: 64, Ways: 3},
+		{SizeBytes: 1024, LineBytes: 64, Ways: 2, Banks: 3},
+	} {
+		func() {
+			defer func() { recover() }()
+			New(cfg, &fixedBackend{})
+			t.Errorf("New accepted %+v", cfg)
+		}()
+	}
+}

@@ -1,0 +1,108 @@
+package compiler
+
+// Compile-time cost model from §4.2 of the paper.
+//
+// Exec-time estimates follow the paper's "dependency height and
+// resource usage analysis" in spirit: a block of n µops on the 8-wide
+// baseline is estimated to need n/issueEff cycles plus a base latency.
+// The misprediction penalty is the machine's 30 cycles.
+
+const (
+	mispredPenalty = 30.0
+	issueEff       = 4.0 // effective sustained µops/cycle for straight-line code
+)
+
+// The §4.2.2 conversion thresholds. The paper sets N=5 and L=30 and
+// notes it did not tune them; they are exported so the extension
+// experiments (cmd/wishbench -exp ext-thresholds) can sweep them.
+var (
+	// WishJumpThreshold is N: a hammock whose fall-through block has
+	// more than N instructions becomes a wish jump/join; smaller
+	// hammocks are predicated outright.
+	WishJumpThreshold = 5
+	// WishLoopThreshold is L: loops with fewer than L body instructions
+	// become wish loops.
+	WishLoopThreshold = 30
+)
+
+// blockTime estimates the execution time of n straight-line µops.
+func blockTime(n int) float64 {
+	if n <= 0 {
+		return 0
+	}
+	return 1 + float64(n)/issueEff
+}
+
+// predicationWins evaluates Eq. 4.1–4.3: predicate the branch when the
+// estimated predicated execution time beats the estimated normal-branch
+// execution time under the profiled taken probability and misprediction
+// rate.
+func predicationWins(t If) bool {
+	condN := condSize(t.Cond)
+	thenN := NumInsts(t.Then)
+	elseN := NumInsts(t.Else)
+
+	// Eq. 4.1: normal branch code.
+	pT := t.Prof.TakenProb
+	execT := blockTime(condN + thenN)   // taken: cond + then
+	execN := blockTime(condN+elseN) + 1 // not taken: cond + else + jump over then
+	normal := execT*pT + execN*(1-pT) + mispredPenalty*t.Prof.MispredRate
+
+	// Eq. 4.2: predicated code fetches everything and adds the
+	// predicate-definition overhead plus the serialization on the
+	// predicate (one extra dependence level).
+	predOverhead := 2 // predicate setup/complement µops
+	if len(t.Cond.Terms) > 1 {
+		predOverhead = 2 * len(t.Cond.Terms)
+	}
+	pred := blockTime(condN+thenN+elseN+predOverhead) + 1
+
+	// Eq. 4.3.
+	return pred < normal
+}
+
+// wishWins applies the §4.2.2 heuristic for the wish binaries: convert
+// to a wish jump/join when the fall-through block is larger than N
+// (very short hammocks are better off predicated, since a wish branch
+// costs at least one extra instruction).
+func wishWins(t If) bool {
+	fallthru := NumInsts(t.Else)
+	if len(t.Else) == 0 {
+		fallthru = NumInsts(t.Then)
+	}
+	return fallthru > WishJumpThreshold
+}
+
+// wishLoopWins applies the §4.2.2 loop heuristic: convert a backward
+// branch to a wish loop when the body is smaller than L µops. Only the
+// wish jump/join/loop binary converts loops (Table 3), and bodies
+// containing further loops are not converted (no nested wish loops,
+// §3.5.4).
+func (l *lowerer) wishLoopWins(body []Node, noConvert bool) bool {
+	if l.v != WishJumpJoinLoop || noConvert {
+		return false
+	}
+	if containsLoop(body) || containsCall(body) || containsWishIf(body) {
+		return false
+	}
+	return NumInsts(body) < WishLoopThreshold
+}
+
+// containsWishIf reports whether the subtree holds a hammock that the
+// wish binaries convert to a wish jump/join. Such hammocks take
+// priority over loop conversion: a wish loop's body must be fully
+// predicated (no wish branches inside the loop), keeping the no-exit
+// recovery of §3.5.4 simple.
+func containsWishIf(nodes []Node) bool {
+	for _, nd := range nodes {
+		if t, ok := nd.(If); ok {
+			if !t.NoConvert && wishWins(t) {
+				return true
+			}
+			if containsWishIf(t.Then) || containsWishIf(t.Else) {
+				return true
+			}
+		}
+	}
+	return false
+}

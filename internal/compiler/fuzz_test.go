@@ -1,0 +1,72 @@
+package compiler
+
+import (
+	"testing"
+
+	"wishbranch/internal/emu"
+	"wishbranch/internal/prog"
+)
+
+// TestFuzzVariantEquivalence: for many random programs, all five binary
+// variants must compute identical accumulator values under functional
+// execution. Any incorrect guard composition, wish-region layout, or
+// predicate allocation shows up as a divergence.
+func TestFuzzVariantEquivalence(t *testing.T) {
+	seeds := 60
+	if testing.Short() {
+		seeds = 10
+	}
+	for seed := 0; seed < seeds; seed++ {
+		src := GenRandomSource(uint64(seed)*2654435761 + 17)
+		var ref [GenAccs]int64
+		for vi, v := range Variants() {
+			p, err := Compile(src, v)
+			if err != nil {
+				t.Fatalf("seed %d %v: %v", seed, v, err)
+			}
+			if err := p.Validate(); err != nil {
+				t.Fatalf("seed %d %v: %v", seed, v, err)
+			}
+			st := emu.New(p)
+			if _, err := st.Run(50_000_000, nil); err != nil {
+				t.Fatalf("seed %d %v: %v", seed, v, err)
+			}
+			for a := 0; a < GenAccs; a++ {
+				got := st.Regs[GenAccBase+a]
+				if vi == 0 {
+					ref[a] = got
+				} else if got != ref[a] {
+					t.Fatalf("seed %d %v: r%d = %d, want %d (normal)\n%s",
+						seed, v, GenAccBase+a, got, ref[a], p.Disassemble())
+				}
+			}
+		}
+	}
+}
+
+// TestFuzzDisassemblyRoundTrip: random compiled binaries must survive a
+// disassemble → parse round trip bit-exactly.
+func TestFuzzDisassemblyRoundTrip(t *testing.T) {
+	seeds := 20
+	if testing.Short() {
+		seeds = 5
+	}
+	for seed := 0; seed < seeds; seed++ {
+		src := GenRandomSource(uint64(seed)*48271 + 11)
+		for _, v := range Variants() {
+			p := MustCompile(src, v)
+			p2, err := prog.Parse(p.Disassemble())
+			if err != nil {
+				t.Fatalf("seed %d %v: %v", seed, v, err)
+			}
+			if len(p2.Code) != len(p.Code) {
+				t.Fatalf("seed %d %v: %d -> %d µops", seed, v, len(p.Code), len(p2.Code))
+			}
+			for i := range p.Code {
+				if p.Code[i] != p2.Code[i] {
+					t.Fatalf("seed %d %v µop %d: %v != %v", seed, v, i, p.Code[i], p2.Code[i])
+				}
+			}
+		}
+	}
+}

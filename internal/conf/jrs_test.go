@@ -1,0 +1,132 @@
+package conf
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func small() *JRS {
+	return NewJRS(JRSConfig{Entries: 64, Ways: 4, HistoryBits: 0, CtrBits: 4, Threshold: 8})
+}
+
+func TestColdLookupIsLowConfidence(t *testing.T) {
+	j := small()
+	if j.Lookup(0x100, 0) {
+		t.Error("cold lookup reported high confidence")
+	}
+}
+
+func TestConfidenceBuildsWithCorrectPredictions(t *testing.T) {
+	j := small()
+	pc := uint64(0x40)
+	for i := 0; i < 7; i++ {
+		j.Update(pc, 0, true)
+		if j.Lookup(pc, 0) {
+			t.Fatalf("high confidence after only %d correct predictions (threshold 8)", i+1)
+		}
+	}
+	j.Update(pc, 0, true)
+	if !j.Lookup(pc, 0) {
+		t.Error("still low confidence after reaching the threshold")
+	}
+}
+
+func TestMispredictionResetsCounter(t *testing.T) {
+	j := small()
+	pc := uint64(0x44)
+	for i := 0; i < 15; i++ {
+		j.Update(pc, 0, true)
+	}
+	if !j.Lookup(pc, 0) {
+		t.Fatal("expected high confidence")
+	}
+	j.Update(pc, 0, false)
+	if j.Lookup(pc, 0) {
+		t.Error("misprediction did not reset the miss distance counter")
+	}
+}
+
+func TestCounterSaturates(t *testing.T) {
+	j := small()
+	pc := uint64(0x48)
+	for i := 0; i < 1000; i++ {
+		j.Update(pc, 0, true)
+	}
+	// One misprediction resets; it must then take threshold corrects
+	// again (no overflow wraparound).
+	j.Update(pc, 0, false)
+	for i := 0; i < 7; i++ {
+		j.Update(pc, 0, true)
+	}
+	if j.Lookup(pc, 0) {
+		t.Error("counter did not saturate at CtrBits")
+	}
+}
+
+func TestHistoryDisambiguatesContexts(t *testing.T) {
+	j := NewJRS(JRSConfig{Entries: 64, Ways: 4, HistoryBits: 4, CtrBits: 4, Threshold: 4})
+	pc := uint64(0x80)
+	// Context 0b0000 always correct; context 0b1111 always wrong.
+	for i := 0; i < 10; i++ {
+		j.Update(pc, 0, true)
+		j.Update(pc, 0xF, false)
+	}
+	if !j.Lookup(pc, 0) {
+		t.Error("good context not high confidence")
+	}
+	if j.Lookup(pc, 0xF) {
+		t.Error("bad context high confidence")
+	}
+}
+
+func TestLRUEvictionInSet(t *testing.T) {
+	// 4 sets of 4 ways: five branches in one set evict the LRU.
+	j := NewJRS(JRSConfig{Entries: 16, Ways: 4, HistoryBits: 0, CtrBits: 4, Threshold: 2})
+	var pcs []uint64
+	for i := 0; i < 5; i++ {
+		pcs = append(pcs, uint64(i*4)) // same set (set = pc & 3 == 0)
+	}
+	for _, pc := range pcs {
+		for k := 0; k < 4; k++ {
+			j.Update(pc, 0, true)
+		}
+	}
+	// First pc evicted: cold again.
+	if j.Lookup(pcs[0], 0) {
+		t.Error("evicted entry still high confidence")
+	}
+	if !j.Lookup(pcs[4], 0) {
+		t.Error("recent entry lost")
+	}
+}
+
+func TestNewJRSValidation(t *testing.T) {
+	for _, cfg := range []JRSConfig{
+		{Entries: 100, Ways: 4, CtrBits: 4},
+		{Entries: 64, Ways: 3, CtrBits: 4},
+		{Entries: 64, Ways: 4, CtrBits: 0},
+	} {
+		func() {
+			defer func() { recover() }()
+			NewJRS(cfg)
+			t.Errorf("NewJRS accepted %+v", cfg)
+		}()
+	}
+}
+
+// Property: after k consecutive correct updates with no mispredictions,
+// confidence is high iff k >= threshold (within counter saturation).
+func TestThresholdProperty(t *testing.T) {
+	f := func(k uint8, thr uint8) bool {
+		threshold := int(thr%15) + 1
+		j := NewJRS(JRSConfig{Entries: 64, Ways: 4, HistoryBits: 0, CtrBits: 4, Threshold: threshold})
+		n := int(k % 16)
+		for i := 0; i < n; i++ {
+			j.Update(0x10, 0, true)
+		}
+		return j.Lookup(0x10, 0) == (n >= threshold)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

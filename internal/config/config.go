@@ -1,0 +1,180 @@
+// Package config defines machine configurations for the timing
+// simulator. DefaultMachine reproduces the paper's baseline processor
+// (Table 2); the With* helpers derive the sweep configurations used by
+// the paper's sensitivity studies (Figures 14–16).
+package config
+
+import (
+	"wishbranch/internal/bpred"
+	"wishbranch/internal/cache"
+	"wishbranch/internal/conf"
+)
+
+// PredMech selects how the out-of-order core handles predicated
+// instructions at rename time (§2.1 and §5.3.3 of the paper).
+type PredMech int
+
+const (
+	// CStyle converts a predicated instruction into a C-style
+	// conditional expression: it reads the old destination value and the
+	// guard predicate as extra sources and always writes its
+	// destination. No extra µops, but the instruction cannot execute
+	// until its predicate is ready.
+	CStyle PredMech = iota
+	// SelectUop implements Wang et al.'s select-µop mechanism: the
+	// predicated instruction executes without waiting for its predicate,
+	// and an injected select µop merges the old and new values; the
+	// dependents wait on the select µop. Costs one extra µop per
+	// predicated instruction.
+	SelectUop
+)
+
+func (m PredMech) String() string {
+	if m == SelectUop {
+		return "select-uop"
+	}
+	return "c-style"
+}
+
+// Machine is a full timing-simulator configuration.
+type Machine struct {
+	Name string
+
+	// Front end (Table 2: 8-wide, up to 3 conditional branches per
+	// cycle, fetch ends at the first predicted-taken branch).
+	FetchWidth        int
+	MaxCondBrPerCycle int
+	// FrontEndDepth is the number of cycles between fetch and dispatch;
+	// together with resolve/redirect overhead it sets the minimum branch
+	// misprediction penalty (30 cycles in the baseline).
+	FrontEndDepth int
+	// BTBMissPenalty is the fetch bubble charged when a predicted-taken
+	// or wish branch misses in the BTB and must wait for decode.
+	BTBMissPenalty int
+
+	// Execution core.
+	IssueWidth  int
+	RetireWidth int
+	ROBSize     int
+
+	// Predictors.
+	Hybrid          bpred.HybridConfig
+	BTBEntries      int
+	BTBWays         int
+	RASDepth        int
+	IndirectEntries int
+	JRS             conf.JRSConfig
+
+	// UseLoopPredictor enables the trip-count loop predictor for
+	// backward branches (an extension the paper suggests in §3.2);
+	// LoopPredictorBias biases it toward over-estimating trip counts so
+	// wish-loop mispredictions skew late-exit.
+	UseLoopPredictor  bool
+	LoopPredictorBias int
+	LoopPredEntries   int
+
+	// Memory system.
+	Caches cache.HierarchyConfig
+
+	// Predication support mechanism.
+	PredMech PredMech
+
+	// Oracle knobs for the paper's limit studies (Figure 2).
+	PerfectBP         bool // PERFECT-CBP: every branch predicted correctly
+	PerfectConfidence bool // wish-branch confidence = actual prediction correctness
+	NoPredDepend      bool // NO-DEPEND: predicate dependencies removed (oracle)
+	NoFalseFetch      bool // NO-FETCH: predicated-false µops cost nothing (oracle)
+}
+
+// DefaultMachine returns the paper's Table 2 baseline.
+func DefaultMachine() *Machine {
+	return &Machine{
+		Name:              "base-512-d30",
+		FetchWidth:        8,
+		MaxCondBrPerCycle: 3,
+		FrontEndDepth:     28, // ≈30-cycle minimum misprediction penalty
+		BTBMissPenalty:    3,
+		IssueWidth:        8,
+		RetireWidth:       8,
+		ROBSize:           512,
+		Hybrid:            bpred.DefaultHybridConfig(),
+		BTBEntries:        4096,
+		BTBWays:           4,
+		RASDepth:          64,
+		IndirectEntries:   64 * 1024,
+		JRS:               conf.DefaultJRSConfig(),
+		LoopPredEntries:   256,
+		Caches:            cache.DefaultHierarchyConfig(),
+		PredMech:          CStyle,
+	}
+}
+
+// WithWindow returns a copy with the given instruction window (ROB)
+// size, for the Figure 14 sweep (128/256/512).
+func (m *Machine) WithWindow(rob int) *Machine {
+	c := *m
+	c.ROBSize = rob
+	c.Name = nameSize(&c)
+	return &c
+}
+
+// WithDepth returns a copy with the given pipeline depth in stages, for
+// the Figure 15 sweep (10/20/30). The front-end depth is stages-2
+// (resolve and redirect account for the rest of the flush penalty).
+func (m *Machine) WithDepth(stages int) *Machine {
+	c := *m
+	c.FrontEndDepth = stages - 2
+	if c.FrontEndDepth < 1 {
+		c.FrontEndDepth = 1
+	}
+	c.Name = nameSize(&c)
+	return &c
+}
+
+// WithSelectUop returns a copy using the select-µop predication
+// mechanism (Figure 16).
+func (m *Machine) WithSelectUop() *Machine {
+	c := *m
+	c.PredMech = SelectUop
+	c.Name = c.Name + "-seluop"
+	return &c
+}
+
+func nameSize(c *Machine) string {
+	return "base-" + itoa(c.ROBSize) + "-d" + itoa(c.FrontEndDepth+2)
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [20]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}
+
+// Validate sanity-checks the configuration.
+func (m *Machine) Validate() error {
+	switch {
+	case m.FetchWidth <= 0 || m.IssueWidth <= 0 || m.RetireWidth <= 0:
+		return errBad("width")
+	case m.ROBSize <= 0:
+		return errBad("ROB size")
+	case m.FrontEndDepth <= 0:
+		return errBad("front-end depth")
+	case m.MaxCondBrPerCycle <= 0:
+		return errBad("cond branches per cycle")
+	}
+	return nil
+}
+
+type configError string
+
+func (e configError) Error() string { return "config: invalid " + string(e) }
+
+func errBad(what string) error { return configError(what) }

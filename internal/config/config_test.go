@@ -1,0 +1,76 @@
+package config
+
+import "testing"
+
+func TestDefaultMachineValid(t *testing.T) {
+	m := DefaultMachine()
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Table 2 spot checks.
+	if m.FetchWidth != 8 || m.IssueWidth != 8 || m.RetireWidth != 8 {
+		t.Error("baseline is 8-wide")
+	}
+	if m.ROBSize != 512 {
+		t.Errorf("ROB = %d, want 512", m.ROBSize)
+	}
+	if m.MaxCondBrPerCycle != 3 {
+		t.Errorf("cond branches/cycle = %d, want 3", m.MaxCondBrPerCycle)
+	}
+	if m.Caches.L2.SizeBytes != 1<<20 || m.Caches.L2.Banks != 8 {
+		t.Error("L2 must be 1MB, 8 banks")
+	}
+	if m.PredMech != CStyle {
+		t.Error("baseline predication is C-style")
+	}
+}
+
+func TestWithWindowAndDepthAreCopies(t *testing.T) {
+	base := DefaultMachine()
+	w := base.WithWindow(128)
+	d := base.WithDepth(10)
+	s := base.WithSelectUop()
+	if base.ROBSize != 512 || base.FrontEndDepth != 28 || base.PredMech != CStyle {
+		t.Error("With* mutated the receiver")
+	}
+	if w.ROBSize != 128 {
+		t.Errorf("WithWindow: %d", w.ROBSize)
+	}
+	if d.FrontEndDepth != 8 {
+		t.Errorf("WithDepth(10): front-end depth %d, want 8", d.FrontEndDepth)
+	}
+	if s.PredMech != SelectUop {
+		t.Error("WithSelectUop did not switch mechanisms")
+	}
+	if w.Name == base.Name || s.Name == base.Name {
+		t.Error("derived configs should be distinguishable by name")
+	}
+}
+
+func TestWithDepthFloor(t *testing.T) {
+	if d := DefaultMachine().WithDepth(1); d.FrontEndDepth < 1 {
+		t.Errorf("depth floor violated: %d", d.FrontEndDepth)
+	}
+}
+
+func TestValidateRejectsNonsense(t *testing.T) {
+	cases := []func(*Machine){
+		func(m *Machine) { m.FetchWidth = 0 },
+		func(m *Machine) { m.ROBSize = -1 },
+		func(m *Machine) { m.FrontEndDepth = 0 },
+		func(m *Machine) { m.MaxCondBrPerCycle = 0 },
+	}
+	for i, mutate := range cases {
+		m := DefaultMachine()
+		mutate(m)
+		if err := m.Validate(); err == nil {
+			t.Errorf("case %d: Validate accepted invalid config", i)
+		}
+	}
+}
+
+func TestPredMechString(t *testing.T) {
+	if CStyle.String() != "c-style" || SelectUop.String() != "select-uop" {
+		t.Error("PredMech names")
+	}
+}

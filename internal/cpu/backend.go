@@ -1,0 +1,530 @@
+package cpu
+
+import (
+	"container/heap"
+	"fmt"
+
+	"wishbranch/internal/config"
+	"wishbranch/internal/isa"
+	"wishbranch/internal/prog"
+)
+
+// dispatch moves µops from the fetch queue into the window (up to
+// FetchWidth per cycle), performing rename-time dependence analysis,
+// including the C-style conditional-expression or select-µop treatment
+// of predicated instructions (§2.1, §5.3.3).
+func (c *CPU) dispatch() {
+	for n := 0; n < c.cfg.FetchWidth && len(c.fetchQ) > 0; n++ {
+		u := c.fetchQ[0]
+		if u.dispReady > c.cycle {
+			return
+		}
+		need := 1
+		if c.needsSelect(u) {
+			need = 2
+		}
+		if c.robCount+need > len(c.rob) {
+			c.dbgRobFull++
+			return
+		}
+		c.fetchQ = c.fetchQ[1:]
+		c.rename(u)
+	}
+}
+
+// needsSelect reports whether dispatching u injects a select µop.
+func (c *CPU) needsSelect(u *uop) bool {
+	in := u.inst
+	if c.cfg.PredMech != config.SelectUop || in.Guard == isa.P0 || in.IsBranch() {
+		return false
+	}
+	if c.cfg.NoPredDepend || c.cfg.NoFalseFetch || u.predElim {
+		return false
+	}
+	return in.WritesInt() || in.WritesPred()
+}
+
+// rename computes u's dependences, updates the fetch-order writer
+// tables, allocates window entries, and wakes u if already ready.
+func (c *CPU) rename(u *uop) {
+	u.dispatched = true
+	in := u.inst
+
+	addIntSrcs := func() {
+		srcs, n := in.IntSrcs()
+		for i := 0; i < n; i++ {
+			if srcs[i] != isa.R0 {
+				u.addDep(c.intWriter[srcs[i]])
+			}
+		}
+	}
+	addPredSrcs := func() {
+		ps, n := in.ReadsPredSrcs()
+		for i := 0; i < n; i++ {
+			if ps[i] != isa.P0 {
+				u.addDep(c.predWriter[ps[i]])
+			}
+		}
+	}
+	addLoadDeps := func() {
+		if in.Op != isa.OpLoad {
+			return
+		}
+		if w := c.storeWriter[u.addr>>3]; w != nil && !w.squashed && w.seq < u.seq {
+			u.fwdStore = true
+			u.addDep(w) // store-to-load forwarding once the store executes
+		}
+	}
+	addOldDstDeps := func() {
+		if in.WritesInt() {
+			u.addDep(c.intWriter[in.Dst])
+		}
+		if in.WritesPred() {
+			if in.PDst != isa.PNone && in.PDst != isa.P0 {
+				u.addDep(c.predWriter[in.PDst])
+			}
+			if in.PDst2 != isa.PNone && in.PDst2 != isa.P0 {
+				u.addDep(c.predWriter[in.PDst2])
+			}
+		}
+	}
+
+	guarded := in.Guard != isa.P0 && !in.IsBranch()
+	oracle := c.cfg.NoPredDepend || c.cfg.NoFalseFetch
+	var sel *uop
+
+	switch {
+	case in.IsBranch():
+		if in.Op == isa.OpBr && in.Guard != isa.P0 {
+			u.addDep(c.predWriter[in.Guard]) // resolution needs the real predicate
+		}
+		if in.Op == isa.OpJmpInd || in.Op == isa.OpRet {
+			addIntSrcs()
+		}
+	case guarded && oracle:
+		// NO-DEPEND (and NO-FETCH): predicate dependencies ideally
+		// removed; a predicated-false µop is a free NOP.
+		if u.guardVal {
+			addIntSrcs()
+			addPredSrcs()
+			addLoadDeps()
+		}
+	case guarded && u.predElim:
+		// Predicate dependency elimination hit: the guard is assumed
+		// ready with the predicted value (§3.5.3). A mispredicted value
+		// is repaired by the wish branch's own flush.
+		if u.predElimVal {
+			addIntSrcs()
+			addPredSrcs()
+			addLoadDeps()
+		}
+	case guarded && c.cfg.PredMech == config.SelectUop:
+		// The predicated µop executes without its predicate; the select
+		// µop merges old/new values and carries the dependents.
+		addIntSrcs()
+		addPredSrcs()
+		addLoadDeps()
+		sel = &uop{
+			seq: u.seq, pc: u.pc, inst: in, isSelect: true,
+			wrongPath: u.wrongPath, guardVal: u.guardVal,
+		}
+		sel.addDep(u)
+		sel.addDep(c.predWriter[in.Guard])
+		if in.WritesInt() {
+			sel.addDep(c.intWriter[in.Dst])
+		}
+		if in.WritesPred() {
+			if in.PDst != isa.PNone && in.PDst != isa.P0 {
+				sel.addDep(c.predWriter[in.PDst])
+			}
+			if in.PDst2 != isa.PNone && in.PDst2 != isa.P0 {
+				sel.addDep(c.predWriter[in.PDst2])
+			}
+		}
+	case guarded:
+		// C-style conditional expression: reads the guard and the old
+		// destination value as extra sources; always writes.
+		addIntSrcs()
+		addPredSrcs()
+		addLoadDeps()
+		u.addDep(c.predWriter[in.Guard])
+		addOldDstDeps()
+	default:
+		addIntSrcs()
+		addPredSrcs()
+		addLoadDeps()
+	}
+
+	// Writer updates in fetch order. With C-style conversion a guarded
+	// instruction always writes its destination, which is exactly what
+	// makes renaming work (§2.1); in select-µop mode the select is the
+	// architectural writer. A µop known to be predicated-false (oracle
+	// knowledge, or a predicted-false predicate in high-confidence mode)
+	// is transparent: consumers keep depending on the previous writer,
+	// as ideal renaming would arrange.
+	if c.updatesWriters(u) {
+		writer := u
+		if sel != nil {
+			writer = sel
+		}
+		if in.WritesInt() {
+			c.intWriter[in.Dst] = writer
+		}
+		if in.WritesPred() {
+			if in.PDst != isa.PNone && in.PDst != isa.P0 {
+				c.predWriter[in.PDst] = writer
+			}
+			if in.PDst2 != isa.PNone && in.PDst2 != isa.P0 {
+				c.predWriter[in.PDst2] = writer
+			}
+		}
+	}
+	if in.Op == isa.OpStore && u.guardVal {
+		c.storeWriter[u.addr>>3] = u
+	}
+
+	c.robPush(u)
+	if u.pendingDeps == 0 {
+		c.readyQ.push(u)
+	}
+	if sel != nil {
+		sel.dispatched = true
+		c.robPush(sel)
+		if sel.pendingDeps == 0 {
+			c.readyQ.push(sel)
+		}
+	}
+}
+
+// updatesWriters reports whether u becomes the rename writer of its
+// destinations. False only for µops known not to write: guarded µops
+// whose guard is architecturally false under the NO-DEPEND/NO-FETCH
+// oracles, or predicted false by the predicate dependency elimination
+// buffer.
+func (c *CPU) updatesWriters(u *uop) bool {
+	in := u.inst
+	if in.Guard == isa.P0 || in.IsBranch() {
+		return true
+	}
+	if (c.cfg.NoPredDepend || c.cfg.NoFalseFetch) && !u.guardVal {
+		return false
+	}
+	if u.predElim && !u.predElimVal {
+		return false
+	}
+	return true
+}
+
+// issue selects up to IssueWidth ready µops oldest-first and computes
+// their completion times.
+func (c *CPU) issue() {
+	for n := 0; n < c.cfg.IssueWidth && len(c.readyQ) > 0; {
+		u := c.readyQ.pop()
+		if u.squashed {
+			continue
+		}
+		u.doneCycle = c.execute(u)
+		heap.Push(&c.compQ, compEvent{u.doneCycle, u})
+		n++
+	}
+}
+
+// execute returns the completion cycle of u issued this cycle.
+func (c *CPU) execute(u *uop) uint64 {
+	in := u.inst
+	if u.isSelect {
+		return c.cycle + 1
+	}
+	switch in.Op {
+	case isa.OpLoad:
+		access := u.guardVal
+		if c.cfg.PredMech == config.SelectUop && in.Guard != isa.P0 &&
+			!u.predElim && !c.cfg.NoPredDepend && !c.cfg.NoFalseFetch {
+			// Select-µop predicated loads execute before the predicate
+			// is known, so they access the cache regardless.
+			access = true
+		}
+		if !access || u.fwdStore {
+			return c.cycle + 1
+		}
+		return c.hier.AccessD(u.addr, c.cycle+1, false)
+	case isa.OpStore:
+		return c.cycle + 1 // data written at retire
+	default:
+		return c.cycle + latency(in.Op)
+	}
+}
+
+// completions drains finished µops for this cycle, wakes dependents,
+// and resolves branches that require recovery decisions, oldest first.
+func (c *CPU) completions() {
+	var resolved []*uop
+	for len(c.compQ) > 0 && c.compQ[0].cycle <= c.cycle {
+		e := heap.Pop(&c.compQ).(compEvent)
+		u := e.u
+		if u.squashed {
+			continue
+		}
+		u.done = true
+		for _, d := range u.dependents {
+			if d.squashed || d.done {
+				continue
+			}
+			d.pendingDeps--
+			if d.pendingDeps == 0 {
+				c.readyQ.push(d)
+			}
+		}
+		u.dependents = nil
+		if (u.mispredict || u.deferred) && !u.wrongPath {
+			resolved = append(resolved, u)
+		}
+	}
+	// Oldest first: an older flush squashes younger resolutions.
+	for i := 1; i < len(resolved); i++ {
+		for j := i; j > 0 && resolved[j].seq < resolved[j-1].seq; j-- {
+			resolved[j], resolved[j-1] = resolved[j-1], resolved[j]
+		}
+	}
+	for _, u := range resolved {
+		if !u.squashed {
+			c.resolve(u)
+		}
+	}
+}
+
+// resolve implements the branch misprediction detection/recovery module
+// of §3.5.4.
+func (c *CPU) resolve(u *uop) {
+	c.dbgResolveCnt++
+	c.dbgResolveDelay += c.cycle - u.fetchCycle
+	if u.mispredict {
+		// Normal branches, high-confidence wish branches, indirect
+		// branches and returns, and wish-loop early exits: flush.
+		c.flush(u, u.flushPC, false)
+		return
+	}
+	// Deferred low-confidence wish loop (actual not-taken, predicted
+	// taken): consult the front-end last-prediction buffer.
+	if c.loopGen[u.pc] != u.loopGen {
+		// The front end exited (and possibly re-entered) this loop after
+		// u was fetched: late exit, nothing to flush. The paper's
+		// hardware flushes unnecessarily on re-entry (footnote 8); here
+		// the correct path has run past the loop, so the flush must not
+		// happen.
+		u.loopCls = loopLate
+		return
+	}
+	if last := c.lastLoopPred[u.pc]; !last {
+		// Late exit: the front end already left the loop; the extra
+		// iterations flow through as NOPs and no flush is needed.
+		u.loopCls = loopLate
+		return
+	}
+	// No exit: the front end is still fetching iterations; flush and
+	// fetch the loop's fall-through block.
+	u.loopCls = loopNoExit
+	c.flush(u, u.pc+1, true)
+}
+
+// flush squashes everything younger than u, repairs front-end state,
+// and redirects fetch to redirectPC.
+func (c *CPU) flush(u *uop, redirectPC int, noExit bool) {
+	c.res.Flushes++
+
+	// Squash the window tail younger than u.
+	for c.robCount > 0 {
+		i := (c.robTail - 1 + len(c.rob)) % len(c.rob)
+		v := c.rob[i]
+		if v.seq <= u.seq {
+			break
+		}
+		v.squashed = true
+		c.rob[i] = nil
+		c.robTail = i
+		c.robCount--
+		c.res.Squashed++
+	}
+	for _, q := range c.fetchQ {
+		q.squashed = true
+		c.res.Squashed++
+	}
+	c.fetchQ = c.fetchQ[:0]
+
+	// Rebuild fetch-order rename state from the surviving window.
+	c.intWriter = [isa.NumIntRegs]*uop{}
+	c.predWriter = [isa.NumPredRegs]*uop{}
+	c.storeWriter = make(map[uint64]*uop)
+	c.robFor(func(v *uop) {
+		in := v.inst
+		if c.updatesWriters(v) {
+			if in.WritesInt() {
+				c.intWriter[in.Dst] = v
+			}
+			if in.WritesPred() {
+				if in.PDst != isa.PNone && in.PDst != isa.P0 {
+					c.predWriter[in.PDst] = v
+				}
+				if in.PDst2 != isa.PNone && in.PDst2 != isa.P0 {
+					c.predWriter[in.PDst2] = v
+				}
+			}
+		}
+		if in.Op == isa.OpStore && v.guardVal && !v.isSelect {
+			c.storeWriter[v.addr>>3] = v
+		}
+	})
+
+	// Predictor repair.
+	switch {
+	case u.isCond:
+		c.bp.Repair(u.pred.Hist, u.actualTaken)
+		c.bp.RepairLocal(prog.Addr(u.pc), u.pred.LHist, u.actualTaken)
+	case u.inst.Op == isa.OpJmpInd:
+		// Fetch folded the predicted target's bit into the history;
+		// repair with the actual target's bit.
+		c.bp.Repair(u.hist, targetBit(u.flushPC))
+	default:
+		c.bp.SetHist(u.hist)
+	}
+	c.ras.Restore(u.rasTop, u.rasVal)
+	if c.lp != nil {
+		c.lp.ResetSpec()
+	}
+
+	// Wish front-end state: a misprediction signal returns the mode
+	// machine to normal (Figure 8) and resets the elimination buffer
+	// (§3.5.3).
+	c.mode = ModeNormal
+	c.lowConfTarget = -1
+	c.lowConfLoopPC = -1
+	for k := range c.elim {
+		delete(c.elim, k)
+	}
+	if noExit {
+		// The front end now exits the loop; record it so younger
+		// deferred instances (already squashed) cannot misclassify.
+		c.lastLoopPred[u.pc] = false
+		c.loopGen[u.pc]++
+	}
+
+	// Fetch redirect. For a detected misprediction the emulator already
+	// sits on the correct path; for a wish-loop no-exit flush every µop
+	// fetched since the mispredicted instance was a predicated-false
+	// NOP, so repositioning the PC is architecturally safe (§3.5.4).
+	c.shadow = nil
+	c.pendingFlush = nil
+	if noExit {
+		c.st.PC = redirectPC
+	} else if c.st.PC != redirectPC {
+		panic(fmt.Sprintf("cpu: flush redirect mismatch: emulator at %d, expected %d", c.st.PC, redirectPC))
+	}
+	c.fetchHalted = c.st.Halted
+	c.nextFetch = c.cycle + 1
+	c.curLine = 0
+}
+
+// retire commits up to RetireWidth completed µops in order.
+func (c *CPU) retire() {
+	for n := 0; n < c.cfg.RetireWidth && c.robCount > 0; n++ {
+		u := c.rob[c.robHead]
+		if u == nil || u.squashed {
+			panic("cpu: squashed µop at window head")
+		}
+		if !u.done || u.doneCycle > c.cycle {
+			c.dbgHeadBlock[u.inst.Op]++
+			if !u.dispatched {
+				c.dbgHeadUndisp++
+			}
+			return
+		}
+		c.rob[c.robHead] = nil
+		c.robHead = (c.robHead + 1) % len(c.rob)
+		c.robCount--
+		c.retireUop(u)
+		if c.res.Halted {
+			return
+		}
+	}
+}
+
+func (c *CPU) retireUop(u *uop) {
+	c.res.RetiredUops++
+	in := u.inst
+	if u.isSelect {
+		return
+	}
+	c.res.ProgUops++
+	pc64 := prog.Addr(u.pc)
+
+	if in.Op == isa.OpStore && u.guardVal {
+		c.hier.AccessD(u.addr, c.cycle, true)
+		if c.storeWriter[u.addr>>3] == u {
+			delete(c.storeWriter, u.addr>>3)
+		}
+	}
+
+	if u.isCond {
+		c.res.CondBranches++
+		if u.dirPred != u.actualTaken {
+			c.res.MispredCondBr++
+		}
+		if u.predValid {
+			c.bp.Commit(pc64, u.pred, u.actualTaken)
+		}
+		if c.lp != nil && in.Target <= u.pc {
+			c.lp.Commit(pc64, u.actualTaken)
+		}
+		if in.IsWish() {
+			if !c.cfg.PerfectConfidence && !c.cfg.PerfectBP {
+				c.jrs.Update(pc64, u.hist, u.dirPred == u.actualTaken)
+			}
+			c.wishStats(u)
+		}
+	}
+	if in.Op == isa.OpJmpInd {
+		c.itc.Update(pc64, u.hist, u.flushPC)
+	}
+	if in.Op == isa.OpHalt && u.guardVal {
+		c.res.Halted = true
+	}
+}
+
+// wishStats classifies a retired wish branch for Figures 11 and 13.
+func (c *CPU) wishStats(u *uop) {
+	var w *WishClass
+	switch u.inst.WType {
+	case isa.WJump:
+		w = &c.res.WishJump
+	case isa.WJoin:
+		w = &c.res.WishJoin
+	case isa.WLoop:
+		w = &c.res.WishLoop
+	default:
+		return
+	}
+	mis := u.dirPred != u.actualTaken
+	if u.highConf {
+		if mis {
+			w.HighMispred++
+		} else {
+			w.HighCorrect++
+		}
+		return
+	}
+	if !mis {
+		w.LowCorrect++
+		return
+	}
+	w.LowMispred++
+	if u.inst.WType == isa.WLoop {
+		switch u.loopCls {
+		case loopEarly:
+			w.LowEarly++
+		case loopNoExit:
+			w.LowNoExit++
+		default:
+			w.LowLate++
+		}
+	}
+}

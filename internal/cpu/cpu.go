@@ -1,0 +1,207 @@
+// Package cpu is the cycle-level out-of-order processor model. It
+// reproduces the paper's baseline machine (Table 2) and all of the
+// wish-branch hardware of §3.5: the front-end mode state machine
+// (Figure 8), the predicate dependency elimination buffer (§3.5.3), the
+// wish-loop last-prediction buffer with early/late/no-exit recovery
+// (§3.5.4), a dedicated JRS confidence estimator (§3.5.5), and both
+// predication mechanisms (C-style conditional expressions and
+// select-µops, §2.1/§5.3.3), plus the oracle knobs of the Figure 2
+// limit study (NO-DEPEND, NO-FETCH, PERFECT-CBP, perfect confidence).
+//
+// Simulation is execution-driven: a functional emulator advances in
+// fetch order along the path the front end actually follows. Wrong
+// paths after a detected misprediction are walked with a forked shadow
+// state (mirroring the paper's Pin-based wrong-path trace threads), and
+// low-confidence wish-branch paths are followed directly, since
+// predication makes both directions architecturally equivalent.
+package cpu
+
+import (
+	"fmt"
+
+	"wishbranch/internal/bpred"
+	"wishbranch/internal/cache"
+	"wishbranch/internal/conf"
+	"wishbranch/internal/config"
+	"wishbranch/internal/emu"
+	"wishbranch/internal/isa"
+	"wishbranch/internal/prog"
+)
+
+// CPU simulates one program on one machine configuration. Create with
+// New and call Run once.
+type CPU struct {
+	cfg  *config.Machine
+	prog *prog.Program
+
+	st     *emu.State  // fetch-order architectural state (correct path)
+	shadow *emu.Shadow // active while fetching a wrong path
+
+	hier *cache.Hierarchy
+	bp   *bpred.Hybrid
+	btb  *bpred.BTB
+	ras  *bpred.RAS
+	itc  *bpred.IndirectCache
+	jrs  *conf.JRS
+	lp   *bpred.LoopPredictor
+
+	cycle uint64
+	seq   uint64
+
+	// Fetch state.
+	nextFetch    uint64 // earliest cycle fetch may proceed
+	fetchHalted  bool   // HALT fetched on the correct path
+	curLine      uint64 // I-cache line currently streaming (+1; 0 = none)
+	pendingFlush *uop   // fetch-detected mispredicted branch awaiting resolve
+
+	// Wish-branch front-end state (Figure 8 state machine).
+	mode          Mode
+	lowConfTarget int                       // jump/join low-conf region exit PC (-1 = none)
+	lowConfLoopPC int                       // static PC of the wish loop holding low-conf mode (-1)
+	elim          map[isa.PReg]bool         // predicate dependency elimination buffer
+	predPair      [isa.NumPredRegs]isa.PReg // complement pairing from last defining cmp
+	lastLoopPred  map[int]bool              // per-static-wish-loop last fetched prediction
+	// loopGen counts, per static wish loop, how many times the front end
+	// has left the loop. A deferred (extra-iteration) instance whose
+	// generation is stale resolves as late-exit: the front end exited
+	// (and possibly re-entered) the loop, so there is nothing to flush.
+	// The paper's hardware would unnecessarily flush on re-entry
+	// (footnote 8); an execution-driven model must not, because the
+	// correct path has executed real work past the loop by then.
+	loopGen map[int]uint64
+
+	// Queues and window.
+	fetchQ    []*uop
+	fetchQCap int
+	rob       []*uop // ring buffer
+	robHead   int
+	robTail   int
+	robCount  int
+
+	// Fetch-order rename state.
+	intWriter   [isa.NumIntRegs]*uop
+	predWriter  [isa.NumPredRegs]*uop
+	storeWriter map[uint64]*uop
+
+	readyQ seqHeap
+	compQ  compHeap
+
+	res Result
+
+	// Internal diagnostics, maintained cheaply every run: cumulative
+	// branch resolution delay (flush-penalty decomposition), cycles the
+	// window was full at dispatch, and retire-blocked cycles by the
+	// head µop's opcode. Not part of Result, but repeatedly the fastest
+	// way to localize a performance anomaly (see DESIGN.md §7).
+	dbgResolveDelay uint64
+	dbgResolveCnt   uint64
+	dbgRobFull      uint64
+	dbgHeadBlock    [32]uint64
+	dbgHeadUndisp   uint64
+}
+
+// New builds a simulator for program p under machine cfg. The initial
+// memory image is applied via init (may be nil).
+func New(cfg *config.Machine, p *prog.Program, init func(*emu.Memory)) (*CPU, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	st := emu.New(p)
+	if init != nil {
+		init(st.Mem)
+	}
+	c := &CPU{
+		cfg:           cfg,
+		prog:          p,
+		st:            st,
+		hier:          cache.NewHierarchy(cfg.Caches),
+		bp:            bpred.NewHybrid(cfg.Hybrid),
+		btb:           bpred.NewBTB(cfg.BTBEntries, cfg.BTBWays),
+		ras:           bpred.NewRAS(cfg.RASDepth),
+		itc:           bpred.NewIndirectCache(cfg.IndirectEntries),
+		jrs:           conf.NewJRS(cfg.JRS),
+		mode:          ModeNormal,
+		lowConfTarget: -1,
+		lowConfLoopPC: -1,
+		elim:          make(map[isa.PReg]bool),
+		lastLoopPred:  make(map[int]bool),
+		loopGen:       make(map[int]uint64),
+		fetchQCap:     cfg.FrontEndDepth*cfg.FetchWidth + cfg.FetchWidth,
+		rob:           make([]*uop, cfg.ROBSize),
+		storeWriter:   make(map[uint64]*uop),
+	}
+	if cfg.UseLoopPredictor {
+		c.lp = bpred.NewLoopPredictor(cfg.LoopPredEntries)
+		c.lp.Bias = cfg.LoopPredictorBias
+	}
+	for i := range c.predPair {
+		c.predPair[i] = isa.PNone
+	}
+	return c, nil
+}
+
+// Run simulates until the program's HALT retires or maxCycles elapse
+// (0 = default limit of 2^40 cycles). It returns the collected result;
+// an error means the cycle limit was hit.
+func (c *CPU) Run(maxCycles uint64) (*Result, error) {
+	if maxCycles == 0 {
+		maxCycles = 1 << 40
+	}
+	for !c.res.Halted {
+		if c.cycle >= maxCycles {
+			c.collectCacheStats()
+			return &c.res, fmt.Errorf("cpu: cycle limit %d reached (pc=%d, retired=%d)",
+				maxCycles, c.st.PC, c.res.RetiredUops)
+		}
+		c.completions()
+		c.retire()
+		c.issue()
+		c.dispatch()
+		c.fetch()
+		c.cycle++
+	}
+	c.res.Cycles = c.cycle
+	c.collectCacheStats()
+	return &c.res, nil
+}
+
+func (c *CPU) collectCacheStats() {
+	c.res.L1I = c.hier.L1I.Stats
+	c.res.L1D = c.hier.L1D.Stats
+	c.res.L2 = c.hier.L2.Stats
+	c.res.Mem = c.hier.Mem.Stats
+	if c.res.Cycles == 0 {
+		c.res.Cycles = c.cycle
+	}
+}
+
+// Mode returns the current front-end wish mode (for tests and the
+// state-machine experiments).
+func (c *CPU) Mode() Mode { return c.mode }
+
+// ArchState exposes the committed architectural state (registers,
+// predicates, memory). After Run completes it holds the program's final
+// state; tests compare it against a pure functional-emulator run to
+// verify that the pipeline's speculative machinery (wrong-path shadows,
+// forced wish-branch directions, flush repositioning) never corrupts
+// architecture.
+func (c *CPU) ArchState() *emu.State { return c.st }
+
+// robPush appends to the window; caller must ensure space.
+func (c *CPU) robPush(u *uop) {
+	c.rob[c.robTail] = u
+	c.robTail = (c.robTail + 1) % len(c.rob)
+	c.robCount++
+}
+
+// robFor iterates the window oldest to youngest.
+func (c *CPU) robFor(f func(*uop)) {
+	i := c.robHead
+	for n := 0; n < c.robCount; n++ {
+		f(c.rob[i])
+		i = (i + 1) % len(c.rob)
+	}
+}

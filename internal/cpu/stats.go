@@ -1,0 +1,76 @@
+package cpu
+
+import "wishbranch/internal/cache"
+
+// WishClass breaks down retired dynamic wish branches of one type by
+// confidence estimate and prediction outcome, the classification behind
+// Figures 11 and 13 of the paper.
+type WishClass struct {
+	HighCorrect uint64
+	HighMispred uint64
+	LowCorrect  uint64
+	LowMispred  uint64 // all mispredicted low-confidence instances
+	// Wish loops only: LowMispred split by recovery class (§3.5.4).
+	LowEarly  uint64
+	LowLate   uint64
+	LowNoExit uint64
+}
+
+// Total returns all retired dynamic instances.
+func (w WishClass) Total() uint64 {
+	return w.HighCorrect + w.HighMispred + w.LowCorrect + w.LowMispred
+}
+
+// Result holds the statistics of one simulation run.
+type Result struct {
+	Cycles      uint64
+	RetiredUops uint64 // all retired µops, including injected select µops
+	ProgUops    uint64 // retired program µops (excluding select µops)
+	FetchedUops uint64
+	Squashed    uint64
+
+	CondBranches   uint64 // retired conditional branches
+	MispredCondBr  uint64 // retired conditional branches the predictor got wrong
+	Flushes        uint64 // pipeline flushes (all causes)
+	BTBMissBubbles uint64
+
+	WishJump WishClass
+	WishJoin WishClass
+	WishLoop WishClass
+
+	L1I, L1D, L2 cache.Stats
+	Mem          cache.Stats
+
+	Halted bool // program ran to completion
+}
+
+// UPC returns retired µops per cycle.
+func (r *Result) UPC() float64 {
+	if r.Cycles == 0 {
+		return 0
+	}
+	return float64(r.RetiredUops) / float64(r.Cycles)
+}
+
+// MispredPer1K returns mispredicted conditional branches per 1000
+// retired µops (Table 4's metric).
+func (r *Result) MispredPer1K() float64 {
+	if r.RetiredUops == 0 {
+		return 0
+	}
+	return 1000 * float64(r.MispredCondBr) / float64(r.RetiredUops)
+}
+
+// WishBranches returns total retired dynamic wish branches.
+func (r *Result) WishBranches() uint64 {
+	return r.WishJump.Total() + r.WishJoin.Total() + r.WishLoop.Total()
+}
+
+// WishPer1M scales a count to per-million-retired-µops, the unit of
+// Figures 11 and 13.
+func (r *Result) WishPer1M(count uint64) float64 {
+	if r.RetiredUops == 0 {
+		return 0
+	}
+	return 1e6 * float64(count) / float64(r.RetiredUops)
+}

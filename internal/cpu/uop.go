@@ -1,0 +1,168 @@
+package cpu
+
+import (
+	"container/heap"
+
+	"wishbranch/internal/bpred"
+	"wishbranch/internal/isa"
+)
+
+// Mode is the front-end mode of the wish-branch state machine
+// (Figure 8 of the paper).
+type Mode uint8
+
+const (
+	// ModeNormal (00): no wish branch outstanding; default behaviour.
+	ModeNormal Mode = iota
+	// ModeHigh (01): the last wish branch was high-confidence; the
+	// branch predictor is used and the branch's predicate is predicted
+	// (predicate dependency elimination, §3.5.3).
+	ModeHigh
+	// ModeLow (10): the last wish branch was low-confidence; wish
+	// jumps/joins are forced not-taken and predicated code executes,
+	// wish loops stay predicated until the loop exits.
+	ModeLow
+)
+
+func (m Mode) String() string {
+	switch m {
+	case ModeHigh:
+		return "high-conf"
+	case ModeLow:
+		return "low-conf"
+	}
+	return "normal"
+}
+
+// loopClass classifies a mispredicted low-confidence wish loop
+// (§3.5.4): early-exit flushes like a normal misprediction, late-exit
+// costs nothing, no-exit flushes from the loop's fall-through.
+type loopClass uint8
+
+const (
+	loopNone loopClass = iota
+	loopEarly
+	loopLate
+	loopNoExit
+)
+
+// uop is one in-flight dynamic µop.
+type uop struct {
+	seq  uint64
+	pc   int
+	inst *isa.Inst // static instruction (points into the program)
+
+	wrongPath bool
+	squashed  bool
+
+	// Architectural facts captured at fetch from the emulator (shadow
+	// values on the wrong path).
+	guardVal    bool
+	addr        uint64
+	actualTaken bool // branches: architecturally correct direction
+	flushPC     int  // branches: µop index fetch resumes at after a flush
+
+	// Prediction state (branches).
+	isCond     bool
+	predValid  bool // hybrid Lookup was performed (commit needed)
+	pred       bpred.Pred
+	hist       uint64 // global history at fetch (before this branch)
+	takenFetch bool   // direction the front end followed
+	dirPred    bool   // final predictor direction (incl. loop-predictor override)
+	mispredict bool   // fetch-detected real misprediction: flush at resolve
+	deferred   bool   // low-conf wish loop extra iteration: classify at resolve
+	mode       Mode   // front-end mode when fetched
+	highConf   bool   // confidence estimate (wish branches)
+	loopCls    loopClass
+	loopGen    uint64 // wish loops: front-end loop generation at fetch
+	rasTop     int
+	rasVal     int
+
+	// Predicate dependency elimination (recorded at fetch; §3.5.3).
+	predElim    bool
+	predElimVal bool
+
+	// Scheduling.
+	deps        [5]*uop
+	pendingDeps int
+	dependents  []*uop
+	dispatched  bool
+	done        bool
+	doneCycle   uint64
+	isSelect    bool // injected select µop (select-µop predication)
+	fwdStore    bool // load forwarded from an in-flight store
+	dispReady   uint64
+	fetchCycle  uint64
+}
+
+func (u *uop) addDep(d *uop) {
+	if d == nil || d.done || d == u {
+		return
+	}
+	for i := 0; i < u.pendingDeps; i++ {
+		if u.deps[i] == d {
+			return
+		}
+	}
+	u.deps[u.pendingDeps] = d
+	u.pendingDeps++
+	d.dependents = append(d.dependents, u)
+}
+
+// seqHeap is a min-heap of µops ordered by age (sequence number); the
+// scheduler issues oldest-first.
+type seqHeap []*uop
+
+func (h seqHeap) Len() int            { return len(h) }
+func (h seqHeap) Less(i, j int) bool  { return h[i].seq < h[j].seq }
+func (h seqHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *seqHeap) Push(x interface{}) { *h = append(*h, x.(*uop)) }
+func (h *seqHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	u := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return u
+}
+
+func (h *seqHeap) push(u *uop) { heap.Push(h, u) }
+func (h *seqHeap) pop() *uop   { return heap.Pop(h).(*uop) }
+
+// compEvent schedules a µop completion at an absolute cycle.
+type compEvent struct {
+	cycle uint64
+	u     *uop
+}
+
+type compHeap []compEvent
+
+func (h compHeap) Len() int { return len(h) }
+func (h compHeap) Less(i, j int) bool {
+	if h[i].cycle != h[j].cycle {
+		return h[i].cycle < h[j].cycle
+	}
+	return h[i].u.seq < h[j].u.seq
+}
+func (h compHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *compHeap) Push(x interface{}) { *h = append(*h, x.(compEvent)) }
+func (h *compHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = compEvent{}
+	*h = old[:n-1]
+	return e
+}
+
+// latency returns the execution latency of a non-load µop.
+func latency(op isa.Op) uint64 {
+	switch op {
+	case isa.OpMul:
+		return 4
+	case isa.OpDiv, isa.OpRem:
+		return 12
+	default:
+		return 1
+	}
+}

@@ -1,0 +1,249 @@
+package emu
+
+import (
+	"fmt"
+
+	"wishbranch/internal/isa"
+	"wishbranch/internal/prog"
+)
+
+// Step describes the architectural effect of executing one µop. The
+// timing simulator consumes Steps to learn branch outcomes, predicate
+// values, and memory addresses.
+type Step struct {
+	PC        int      // µop index executed
+	Inst      isa.Inst // the instruction
+	GuardTrue bool     // value of the qualifying predicate at execution
+	Taken     bool     // for branches: whether control transferred
+	NextPC    int      // µop index of the next instruction
+	Addr      uint64   // effective address for loads/stores (if GuardTrue)
+	Value     int64    // value loaded, stored, or written to Dst
+	Halted    bool     // instruction was HALT (and guard was true)
+}
+
+// machine abstracts architectural state so the same interpreter core
+// serves both the committed State and the wrong-path Shadow.
+type machine interface {
+	reg(isa.Reg) int64
+	setReg(isa.Reg, int64)
+	pred(isa.PReg) bool
+	setPred(isa.PReg, bool)
+	load(uint64) int64
+	store(uint64, int64)
+}
+
+// State is committed architectural state plus the program being run.
+type State struct {
+	Prog   *prog.Program
+	Regs   [isa.NumIntRegs]int64
+	Preds  [isa.NumPredRegs]bool
+	Mem    *Memory
+	PC     int
+	Halted bool
+	// Insts counts retired (architecturally executed) µops, including
+	// guarded-false ones, which flow through the machine as NOPs.
+	Insts uint64
+}
+
+// New returns a fresh state for the program with zeroed registers and
+// empty memory, positioned at the program entry.
+func New(p *prog.Program) *State {
+	s := &State{Prog: p, Mem: NewMemory(), PC: p.Entry}
+	s.Preds[isa.P0] = true
+	return s
+}
+
+func (s *State) reg(r isa.Reg) int64 {
+	if r == isa.R0 {
+		return 0
+	}
+	return s.Regs[r]
+}
+func (s *State) setReg(r isa.Reg, v int64) {
+	if r != isa.R0 {
+		s.Regs[r] = v
+	}
+}
+func (s *State) pred(p isa.PReg) bool {
+	if p == isa.P0 {
+		return true
+	}
+	return s.Preds[p]
+}
+func (s *State) setPred(p isa.PReg, v bool) {
+	if p != isa.P0 && p != isa.PNone {
+		s.Preds[p] = v
+	}
+}
+func (s *State) load(a uint64) int64     { return s.Mem.Load(a) }
+func (s *State) store(a uint64, v int64) { s.Mem.Store(a, v) }
+
+// Step executes the µop at PC and advances. Calling Step on a halted
+// state returns a zero Step with Halted set.
+func (s *State) Step() Step {
+	if s.Halted {
+		return Step{PC: s.PC, Halted: true}
+	}
+	if s.PC < 0 || s.PC >= len(s.Prog.Code) {
+		panic(fmt.Sprintf("emu: PC %d out of range [0,%d)", s.PC, len(s.Prog.Code)))
+	}
+	st := exec(s, s.Prog, s.PC, nil)
+	s.PC = st.NextPC
+	s.Insts++
+	if st.Halted {
+		s.Halted = true
+	}
+	return st
+}
+
+// StepForced executes the µop at PC, which must be a conditional branch
+// (OpBr), forcing its direction to taken/not-taken regardless of the
+// guard value. This is how the timing simulator models low-confidence
+// wish-branch fetch: the predicated binary makes both directions
+// architecturally equivalent, so the emulator follows the direction the
+// front end chose. The returned Step's GuardTrue still reports the real
+// guard value (the branch's actual direction) so the caller can detect
+// mispredictions; Taken reports the forced direction actually followed.
+func (s *State) StepForced(taken bool) Step {
+	if s.Halted {
+		return Step{PC: s.PC, Halted: true}
+	}
+	in := &s.Prog.Code[s.PC]
+	if in.Op != isa.OpBr {
+		panic(fmt.Sprintf("emu: StepForced on non-branch %v at %d", in, s.PC))
+	}
+	st := exec(s, s.Prog, s.PC, &taken)
+	s.PC = st.NextPC
+	s.Insts++
+	return st
+}
+
+// PeekBranch returns, without executing, whether the conditional branch
+// at PC would be taken given current architectural state. It panics if
+// the µop at PC is not an OpBr.
+func (s *State) PeekBranch() bool {
+	in := &s.Prog.Code[s.PC]
+	if in.Op != isa.OpBr {
+		panic(fmt.Sprintf("emu: PeekBranch on non-branch %v at %d", in, s.PC))
+	}
+	return s.pred(in.Guard)
+}
+
+// Run executes until HALT or maxInsts µops (0 = no limit), invoking
+// visit for each step if non-nil. It returns the number of µops
+// executed and an error if the limit was hit before HALT.
+func (s *State) Run(maxInsts uint64, visit func(Step)) (uint64, error) {
+	var n uint64
+	for !s.Halted {
+		if maxInsts > 0 && n >= maxInsts {
+			return n, fmt.Errorf("emu: instruction limit %d reached at pc %d", maxInsts, s.PC)
+		}
+		st := s.Step()
+		n++
+		if visit != nil {
+			visit(st)
+		}
+	}
+	return n, nil
+}
+
+// exec interprets the µop at pc against m. forced, if non-nil, fixes
+// the direction of an OpBr.
+func exec(m machine, p *prog.Program, pc int, forced *bool) Step {
+	in := &p.Code[pc]
+	st := Step{PC: pc, Inst: *in, NextPC: pc + 1}
+	st.GuardTrue = m.pred(in.Guard)
+
+	// Branches: the guard is the condition, not a NOP guard.
+	if in.Op == isa.OpBr {
+		dir := st.GuardTrue
+		if forced != nil {
+			dir = *forced
+		}
+		st.Taken = dir
+		if dir {
+			st.NextPC = in.Target
+		}
+		return st
+	}
+
+	if !st.GuardTrue {
+		// Guarded-false non-branch: architectural NOP.
+		return st
+	}
+
+	switch in.Op {
+	case isa.OpNop:
+	case isa.OpHalt:
+		st.Halted = true
+		st.NextPC = pc
+	case isa.OpAdd, isa.OpSub, isa.OpMul, isa.OpDiv, isa.OpRem,
+		isa.OpAnd, isa.OpOr, isa.OpXor, isa.OpShl, isa.OpShr:
+		b := m.reg(in.Src2)
+		if in.UseImm {
+			b = in.Imm
+		}
+		st.Value = isa.EvalALU(in.Op, m.reg(in.Src1), b)
+		m.setReg(in.Dst, st.Value)
+	case isa.OpMovI:
+		st.Value = in.Imm
+		m.setReg(in.Dst, in.Imm)
+	case isa.OpMov:
+		st.Value = m.reg(in.Src1)
+		m.setReg(in.Dst, st.Value)
+	case isa.OpCmp:
+		b := m.reg(in.Src2)
+		if in.UseImm {
+			b = in.Imm
+		}
+		r := isa.EvalCmp(in.CC, m.reg(in.Src1), b)
+		m.setPred(in.PDst, r)
+		if in.PDst2 != isa.PNone {
+			m.setPred(in.PDst2, !r)
+		}
+		if r {
+			st.Value = 1
+		}
+	case isa.OpPSet:
+		m.setPred(in.PDst, in.Imm != 0)
+		st.Value = in.Imm
+	case isa.OpPOr:
+		m.setPred(in.PDst, m.pred(in.PSrc1) || m.pred(in.PSrc2))
+	case isa.OpPAnd:
+		m.setPred(in.PDst, m.pred(in.PSrc1) && m.pred(in.PSrc2))
+	case isa.OpPNot:
+		m.setPred(in.PDst, !m.pred(in.PSrc1))
+	case isa.OpLoad:
+		st.Addr = uint64(m.reg(in.Src1) + in.Imm)
+		st.Value = m.load(st.Addr)
+		m.setReg(in.Dst, st.Value)
+	case isa.OpStore:
+		st.Addr = uint64(m.reg(in.Src1) + in.Imm)
+		st.Value = m.reg(in.Src2)
+		m.store(st.Addr, st.Value)
+	case isa.OpJmpInd:
+		st.Taken = true
+		st.NextPC = targetIndex(m.reg(in.Src1))
+	case isa.OpCall:
+		st.Taken = true
+		st.Value = int64(prog.Addr(pc + 1))
+		m.setReg(in.Dst, st.Value)
+		st.NextPC = in.Target
+	case isa.OpRet:
+		st.Taken = true
+		st.NextPC = targetIndex(m.reg(in.Src1))
+	default:
+		panic(fmt.Sprintf("emu: unimplemented opcode %v at %d", in.Op, pc))
+	}
+	return st
+}
+
+// targetIndex converts a byte address held in a register to a µop
+// index; indirect jumps to garbage addresses land on index 0, which the
+// timing model treats like any other (mispredicted) control transfer.
+func targetIndex(addr int64) int {
+	if i := prog.Index(uint64(addr)); i >= 0 {
+		return i
+	}
+	return 0
+}

@@ -1,0 +1,65 @@
+// Package emu is the functional (architectural) emulator for the µop
+// ISA. It plays the role the paper's Itanium-II + Pin trace generation
+// plays: it defines the architecturally correct execution of a program
+// and supplies the timing simulator with branch outcomes, predicate
+// values, and memory addresses — including the ability to walk wrong
+// paths without perturbing committed state (the paper forked a Pin
+// thread down the mispredicted path for the same purpose).
+package emu
+
+// Data memory is word-addressable in 8-byte units and sparsely paged so
+// workloads can use multi-megabyte footprints (pointer chasing in the
+// mcf stand-in) without preallocating.
+const (
+	pageWordShift = 9 // 512 words = 4 KiB pages
+	pageWords     = 1 << pageWordShift
+)
+
+type page [pageWords]int64
+
+// Memory is a sparse 64-bit word-addressable memory. Addresses are byte
+// addresses; accesses are aligned to 8 bytes by masking the low bits
+// (the machine has no alignment traps).
+type Memory struct {
+	pages map[uint64]*page
+}
+
+// NewMemory returns an empty memory; all words read as zero.
+func NewMemory() *Memory {
+	return &Memory{pages: make(map[uint64]*page)}
+}
+
+// Load reads the 64-bit word containing byte address addr.
+func (m *Memory) Load(addr uint64) int64 {
+	w := addr >> 3
+	p := m.pages[w>>pageWordShift]
+	if p == nil {
+		return 0
+	}
+	return p[w&(pageWords-1)]
+}
+
+// Store writes the 64-bit word containing byte address addr.
+func (m *Memory) Store(addr uint64, v int64) {
+	w := addr >> 3
+	pn := w >> pageWordShift
+	p := m.pages[pn]
+	if p == nil {
+		p = new(page)
+		m.pages[pn] = p
+	}
+	p[w&(pageWords-1)] = v
+}
+
+// WriteWords stores a contiguous run of 64-bit words starting at base.
+func (m *Memory) WriteWords(base uint64, words []int64) {
+	for i, v := range words {
+		m.Store(base+uint64(i)*8, v)
+	}
+}
+
+// Footprint returns the number of bytes of memory touched so far
+// (page-granular).
+func (m *Memory) Footprint() uint64 {
+	return uint64(len(m.pages)) * pageWords * 8
+}

@@ -1,0 +1,97 @@
+package emu
+
+import "wishbranch/internal/isa"
+
+// Shadow executes instructions down a wrong path without perturbing the
+// committed State it was forked from. Registers and predicates are
+// copied at fork time; stores go to a private overlay that wrong-path
+// loads see first (a crude store queue), while other loads read the
+// committed memory. This mirrors how the paper's traces were produced:
+// a forked thread executed down the mispredicted path so wrong-path
+// fetch and cache effects could be modeled faithfully.
+type Shadow struct {
+	base    *State
+	regs    [isa.NumIntRegs]int64
+	preds   [isa.NumPredRegs]bool
+	overlay map[uint64]int64
+	pc      int
+	halted  bool
+}
+
+// Fork returns a Shadow positioned at µop index pc, seeded with the
+// state's current register and predicate values.
+func (s *State) Fork(pc int) *Shadow {
+	sh := &Shadow{base: s, regs: s.Regs, preds: s.Preds, pc: pc}
+	sh.preds[isa.P0] = true
+	return sh
+}
+
+func (sh *Shadow) reg(r isa.Reg) int64 {
+	if r == isa.R0 {
+		return 0
+	}
+	return sh.regs[r]
+}
+func (sh *Shadow) setReg(r isa.Reg, v int64) {
+	if r != isa.R0 {
+		sh.regs[r] = v
+	}
+}
+func (sh *Shadow) pred(p isa.PReg) bool {
+	if p == isa.P0 {
+		return true
+	}
+	return sh.preds[p]
+}
+func (sh *Shadow) setPred(p isa.PReg, v bool) {
+	if p != isa.P0 && p != isa.PNone {
+		sh.preds[p] = v
+	}
+}
+func (sh *Shadow) load(a uint64) int64 {
+	if v, ok := sh.overlay[a>>3]; ok {
+		return v
+	}
+	return sh.base.Mem.Load(a)
+}
+func (sh *Shadow) store(a uint64, v int64) {
+	if sh.overlay == nil {
+		sh.overlay = make(map[uint64]int64, 8)
+	}
+	sh.overlay[a>>3] = v
+}
+
+// PC returns the shadow's current µop index.
+func (sh *Shadow) PC() int { return sh.pc }
+
+// Halted reports whether the shadow ran into a HALT.
+func (sh *Shadow) Halted() bool { return sh.halted }
+
+// Step executes one wrong-path µop. Conditional branches follow their
+// architecturally computed (shadow) direction unless the caller
+// overrides it via StepForced; HALT freezes the shadow.
+func (sh *Shadow) Step() Step {
+	if sh.halted || sh.pc < 0 || sh.pc >= len(sh.base.Prog.Code) {
+		sh.halted = true
+		return Step{PC: sh.pc, Halted: true}
+	}
+	st := exec(sh, sh.base.Prog, sh.pc, nil)
+	sh.pc = st.NextPC
+	if st.Halted {
+		sh.halted = true
+	}
+	return st
+}
+
+// StepForced executes the branch at the shadow PC with a forced
+// direction (used when the front end's predictor steers wrong-path
+// fetch).
+func (sh *Shadow) StepForced(taken bool) Step {
+	if sh.halted || sh.pc < 0 || sh.pc >= len(sh.base.Prog.Code) {
+		sh.halted = true
+		return Step{PC: sh.pc, Halted: true}
+	}
+	st := exec(sh, sh.base.Prog, sh.pc, &taken)
+	sh.pc = st.NextPC
+	return st
+}

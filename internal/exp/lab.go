@@ -1,0 +1,181 @@
+// Package exp reproduces the paper's evaluation: one runner per table
+// and figure (see DESIGN.md's per-experiment index). The Lab caches
+// simulation results so experiments that share runs (e.g. Figure 10 and
+// Figure 12) do not re-simulate.
+package exp
+
+import (
+	"fmt"
+	"io"
+
+	"wishbranch/internal/compiler"
+	"wishbranch/internal/config"
+	"wishbranch/internal/cpu"
+	"wishbranch/internal/workload"
+)
+
+// Lab runs and caches simulations.
+type Lab struct {
+	// MaxCycles bounds each simulation (0 = no practical limit).
+	MaxCycles uint64
+	// Log, when non-nil, receives one progress line per fresh
+	// simulation.
+	Log io.Writer
+
+	results map[string]*cpu.Result
+}
+
+// NewLab returns an empty lab.
+func NewLab() *Lab {
+	return &Lab{results: make(map[string]*cpu.Result)}
+}
+
+// machineSig captures every Machine field that changes simulation
+// behaviour, for result caching.
+func machineSig(m *config.Machine) string {
+	return fmt.Sprintf("rob%d-fed%d-pm%d-bp%v-pc%v-nd%v-nf%v-lp%v-b%d-jrs%d.%d",
+		m.ROBSize, m.FrontEndDepth, m.PredMech, m.PerfectBP, m.PerfectConfidence,
+		m.NoPredDepend, m.NoFalseFetch, m.UseLoopPredictor, m.LoopPredictorBias,
+		m.JRS.Threshold, m.JRS.HistoryBits)
+}
+
+// Result simulates one (benchmark, input, variant, machine) combination
+// or returns the cached result.
+func (l *Lab) Result(bench string, in workload.Input, v compiler.Variant, m *config.Machine) (*cpu.Result, error) {
+	key := fmt.Sprintf("%s|%v|%v|%s|N%d|L%d", bench, in, v, machineSig(m),
+		compiler.WishJumpThreshold, compiler.WishLoopThreshold)
+	if r, ok := l.results[key]; ok {
+		return r, nil
+	}
+	b, ok := workload.ByName(bench)
+	if !ok {
+		return nil, fmt.Errorf("exp: unknown benchmark %q", bench)
+	}
+	src, mem := b.Build(in)
+	p, err := compiler.Compile(src, v)
+	if err != nil {
+		return nil, err
+	}
+	c, err := cpu.New(m, p, mem)
+	if err != nil {
+		return nil, err
+	}
+	res, err := c.Run(l.MaxCycles)
+	if err != nil {
+		return nil, fmt.Errorf("exp: %s: %w", key, err)
+	}
+	l.results[key] = res
+	if l.Log != nil {
+		fmt.Fprintf(l.Log, "ran %-45s %10d cycles  %.2f µPC\n", key, res.Cycles, res.UPC())
+	}
+	return res, nil
+}
+
+// Norm returns execution time of (v, m) normalized to the normal-branch
+// binary on machine base (the paper normalizes everything to the normal
+// binary of the same machine).
+func (l *Lab) Norm(bench string, in workload.Input, v compiler.Variant, m, base *config.Machine) (float64, error) {
+	r, err := l.Result(bench, in, v, m)
+	if err != nil {
+		return 0, err
+	}
+	ref, err := l.Result(bench, in, compiler.NormalBranch, base)
+	if err != nil {
+		return 0, err
+	}
+	return float64(r.Cycles) / float64(ref.Cycles), nil
+}
+
+// BenchNames returns the nine benchmark names in the paper's order.
+func BenchNames() []string {
+	var names []string
+	for _, b := range workload.All() {
+		names = append(names, b.Name)
+	}
+	return names
+}
+
+// avgRows appends the AVG and AVGnomcf rows the paper reports (mcf
+// skews the average, footnote 2).
+func avgRows(perBench map[string][]float64, cols int, add func(label string, vals []float64)) {
+	names := BenchNames()
+	all := make([][]float64, cols)
+	nomcf := make([][]float64, cols)
+	for _, n := range names {
+		vals := perBench[n]
+		for i := 0; i < cols && i < len(vals); i++ {
+			all[i] = append(all[i], vals[i])
+			if n != "mcf" {
+				nomcf[i] = append(nomcf[i], vals[i])
+			}
+		}
+	}
+	avg := make([]float64, cols)
+	avgN := make([]float64, cols)
+	for i := 0; i < cols; i++ {
+		avg[i] = mean(all[i])
+		avgN[i] = mean(nomcf[i])
+	}
+	add("AVG", avg)
+	add("AVGnomcf", avgN)
+}
+
+func mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Experiment is one reproducible table or figure.
+type Experiment struct {
+	ID    string
+	Title string
+	Run   func(l *Lab, w io.Writer) error
+}
+
+// All returns every experiment in paper order.
+func All() []Experiment {
+	return []Experiment{
+		{"fig1", "Figure 1: predicated vs non-predicated execution time across inputs", Fig1},
+		{"fig2", "Figure 2: overhead decomposition of predicated execution (oracle study)", Fig2},
+		{"table1", "Table 1: prediction of multiple wish branches in complex control flow", Table1},
+		{"table2", "Table 2: baseline processor configuration", Table2},
+		{"table3", "Table 3: binary variants per benchmark (static inventory)", Table3},
+		{"table4", "Table 4: simulated benchmark characteristics", Table4},
+		{"fig10", "Figure 10: performance of wish jump/join binaries", Fig10},
+		{"fig11", "Figure 11: dynamic wish branches per 1M µops by confidence", Fig11},
+		{"fig12", "Figure 12: performance of wish jump/join/loop binaries", Fig12},
+		{"fig13", "Figure 13: dynamic wish loops per 1M µops by confidence and exit class", Fig13},
+		{"table5", "Table 5: wish binary vs best-performing binary per benchmark", Table5},
+		{"fig14", "Figure 14: sensitivity to instruction window size (128/256/512)", Fig14},
+		{"fig15", "Figure 15: sensitivity to pipeline depth (10/20/30)", Fig15},
+		{"fig16", "Figure 16: wish branches on a select-µop processor", Fig16},
+		{"ext-loop-pred", "Extension (§7 future work): biased trip-count wish-loop predictor", ExtLoopPredictor},
+		{"ext-confidence", "Extension (§7 future work): confidence estimator design sweep", ExtConfidence},
+		{"ext-thresholds", "Extension (§7 future work): compiler N/L threshold sweep", ExtThresholds},
+	}
+}
+
+// ByID finds an experiment.
+func ByID(id string) (Experiment, bool) {
+	for _, e := range All() {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}
+
+// IDs returns all experiment IDs, sorted in run order.
+func IDs() []string {
+	var ids []string
+	for _, e := range All() {
+		ids = append(ids, e.ID)
+	}
+	return ids
+}

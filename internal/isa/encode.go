@@ -1,0 +1,116 @@
+package isa
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// EncodedBytes is the size of the canonical 128-bit encoding produced by
+// Encode. (InstBytes, the architectural footprint used for PCs and
+// I-cache occupancy, is intentionally smaller: real µops are dense; the
+// canonical encoding is a portable serialization, not the fetch format.)
+const EncodedBytes = 16
+
+// Encoding layout (word 0, least significant bits first):
+//
+//	[7:0]    opcode
+//	[15:8]   guard predicate
+//	[23:16]  Dst
+//	[31:24]  Src1
+//	[39:32]  Src2
+//	[47:40]  compare condition
+//	[55:48]  PDst
+//	[63:56]  PDst2
+//
+// word 1:
+//
+//	[7:0]    PSrc1
+//	[15:8]   PSrc2
+//	[16]     UseImm
+//	[17]     btype (0 normal, 1 wish) — Figure 7's branch-type hint bit
+//	[19:18]  wtype (0 jump, 1 loop, 2 join) — Figure 7's wish-type hint
+//	[63:20]  Imm or branch Target, as a 44-bit two's-complement field
+//
+// Figure 7 of the paper proposes exactly these two hint fields added to
+// the conditional-branch format so that wish branches run as plain
+// conditional branches on hardware that ignores the hints.
+
+const (
+	immBits = 44
+	immMax  = int64(1)<<(immBits-1) - 1
+	immMin  = -int64(1) << (immBits - 1)
+)
+
+// Encode serializes the instruction into buf, which must be at least
+// EncodedBytes long. It returns an error if an immediate or target does
+// not fit the 44-bit encoded field.
+func (in *Inst) Encode(buf []byte) error {
+	if len(buf) < EncodedBytes {
+		return fmt.Errorf("isa: encode buffer too small (%d bytes)", len(buf))
+	}
+	imm := in.Imm
+	if in.IsBranch() && in.Op != OpJmpInd && in.Op != OpRet {
+		imm = int64(in.Target)
+	}
+	if imm > immMax || imm < immMin {
+		return fmt.Errorf("isa: immediate %d does not fit %d bits", imm, immBits)
+	}
+	w0 := uint64(in.Op) |
+		uint64(in.Guard)<<8 |
+		uint64(in.Dst)<<16 |
+		uint64(in.Src1)<<24 |
+		uint64(in.Src2)<<32 |
+		uint64(in.CC)<<40 |
+		uint64(in.PDst)<<48 |
+		uint64(in.PDst2)<<56
+	w1 := uint64(in.PSrc1) | uint64(in.PSrc2)<<8
+	if in.UseImm {
+		w1 |= 1 << 16
+	}
+	if in.BType == BWish {
+		w1 |= 1 << 17
+	}
+	w1 |= uint64(in.WType&3) << 18
+	w1 |= (uint64(imm) & (1<<immBits - 1)) << 20
+	binary.LittleEndian.PutUint64(buf[0:8], w0)
+	binary.LittleEndian.PutUint64(buf[8:16], w1)
+	return nil
+}
+
+// Decode deserializes an instruction from buf (at least EncodedBytes).
+func Decode(buf []byte) (Inst, error) {
+	if len(buf) < EncodedBytes {
+		return Inst{}, fmt.Errorf("isa: decode buffer too small (%d bytes)", len(buf))
+	}
+	w0 := binary.LittleEndian.Uint64(buf[0:8])
+	w1 := binary.LittleEndian.Uint64(buf[8:16])
+	in := Inst{
+		Op:    Op(w0 & 0xFF),
+		Guard: PReg(w0 >> 8 & 0xFF),
+		Dst:   Reg(w0 >> 16 & 0xFF),
+		Src1:  Reg(w0 >> 24 & 0xFF),
+		Src2:  Reg(w0 >> 32 & 0xFF),
+		CC:    CmpCond(w0 >> 40 & 0xFF),
+		PDst:  PReg(w0 >> 48 & 0xFF),
+		PDst2: PReg(w0 >> 56 & 0xFF),
+		PSrc1: PReg(w1 & 0xFF),
+		PSrc2: PReg(w1 >> 8 & 0xFF),
+	}
+	in.UseImm = w1>>16&1 == 1
+	if w1>>17&1 == 1 {
+		in.BType = BWish
+	}
+	in.WType = WType(w1 >> 18 & 3)
+	raw := w1 >> 20 & (1<<immBits - 1)
+	// Sign-extend the 44-bit field.
+	imm := int64(raw<<(64-immBits)) >> (64 - immBits)
+	if in.IsBranch() && in.Op != OpJmpInd && in.Op != OpRet {
+		in.Target = int(imm)
+	} else {
+		in.Imm = imm
+	}
+	if err := in.Valid(); err != nil {
+		return Inst{}, fmt.Errorf("isa: decoded invalid instruction: %w", err)
+	}
+	return in, nil
+}

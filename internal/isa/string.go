@@ -1,0 +1,152 @@
+package isa
+
+import (
+	"fmt"
+	"strings"
+)
+
+var opNames = [numOps]string{
+	OpNop:    "nop",
+	OpHalt:   "halt",
+	OpAdd:    "add",
+	OpSub:    "sub",
+	OpMul:    "mul",
+	OpDiv:    "div",
+	OpRem:    "rem",
+	OpAnd:    "and",
+	OpOr:     "or",
+	OpXor:    "xor",
+	OpShl:    "shl",
+	OpShr:    "shr",
+	OpMovI:   "movi",
+	OpMov:    "mov",
+	OpCmp:    "cmp",
+	OpPSet:   "pset",
+	OpPOr:    "por",
+	OpPAnd:   "pand",
+	OpPNot:   "pnot",
+	OpLoad:   "ld",
+	OpStore:  "st",
+	OpBr:     "br",
+	OpJmpInd: "jmpi",
+	OpCall:   "call",
+	OpRet:    "ret",
+}
+
+var ccNames = [numCmpConds]string{
+	CmpEQ: "eq",
+	CmpNE: "ne",
+	CmpLT: "lt",
+	CmpLE: "le",
+	CmpGT: "gt",
+	CmpGE: "ge",
+}
+
+// String returns the opcode mnemonic.
+func (o Op) String() string {
+	if int(o) < len(opNames) && opNames[o] != "" {
+		return opNames[o]
+	}
+	return fmt.Sprintf("op%d", uint8(o))
+}
+
+// String returns the condition mnemonic.
+func (c CmpCond) String() string {
+	if int(c) < len(ccNames) {
+		return ccNames[c]
+	}
+	return fmt.Sprintf("cc%d", uint8(c))
+}
+
+// String returns "r<n>".
+func (r Reg) String() string { return fmt.Sprintf("r%d", uint8(r)) }
+
+// String returns "p<n>".
+func (p PReg) String() string {
+	if p == PNone {
+		return "p-"
+	}
+	return fmt.Sprintf("p%d", uint8(p))
+}
+
+func (w WType) String() string {
+	switch w {
+	case WJump:
+		return "jump"
+	case WLoop:
+		return "loop"
+	case WJoin:
+		return "join"
+	}
+	return fmt.Sprintf("wtype%d", uint8(w))
+}
+
+// String disassembles the instruction in an IA-64-flavoured syntax, e.g.
+//
+//	(p1) add r1 = r2, r3
+//	cmp.lt p1, p2 = r4, 10
+//	wish.loop p1, 42
+func (in Inst) String() string {
+	var b strings.Builder
+	if in.Guard != P0 {
+		fmt.Fprintf(&b, "(%v) ", in.Guard)
+	}
+	op2 := func() string {
+		if in.UseImm {
+			return fmt.Sprintf("%d", in.Imm)
+		}
+		return in.Src2.String()
+	}
+	switch in.Op {
+	case OpNop, OpHalt:
+		b.WriteString(in.Op.String())
+	case OpAdd, OpSub, OpMul, OpDiv, OpRem, OpAnd, OpOr, OpXor, OpShl, OpShr:
+		fmt.Fprintf(&b, "%v %v = %v, %s", in.Op, in.Dst, in.Src1, op2())
+	case OpMovI:
+		fmt.Fprintf(&b, "movi %v = %d", in.Dst, in.Imm)
+	case OpMov:
+		fmt.Fprintf(&b, "mov %v = %v", in.Dst, in.Src1)
+	case OpCmp:
+		if in.PDst2 != PNone {
+			fmt.Fprintf(&b, "cmp.%v %v, %v = %v, %s", in.CC, in.PDst, in.PDst2, in.Src1, op2())
+		} else {
+			fmt.Fprintf(&b, "cmp.%v %v = %v, %s", in.CC, in.PDst, in.Src1, op2())
+		}
+	case OpPSet:
+		fmt.Fprintf(&b, "pset %v = %d", in.PDst, in.Imm)
+	case OpPOr:
+		fmt.Fprintf(&b, "por %v = %v, %v", in.PDst, in.PSrc1, in.PSrc2)
+	case OpPAnd:
+		fmt.Fprintf(&b, "pand %v = %v, %v", in.PDst, in.PSrc1, in.PSrc2)
+	case OpPNot:
+		fmt.Fprintf(&b, "pnot %v = %v", in.PDst, in.PSrc1)
+	case OpLoad:
+		fmt.Fprintf(&b, "ld %v = [%v%+d]", in.Dst, in.Src1, in.Imm)
+	case OpStore:
+		fmt.Fprintf(&b, "st [%v%+d] = %v", in.Src1, in.Imm, in.Src2)
+	case OpBr:
+		// The guard is the branch condition; print it inline rather than
+		// as a prefix to match the paper's "branch p1, TARGET" style.
+		b.Reset()
+		name := "br"
+		if in.BType == BWish {
+			name = "wish." + in.WType.String()
+		} else if in.Guard == P0 {
+			name = "jmp"
+		}
+		if in.Guard == P0 && in.BType == BNormal {
+			fmt.Fprintf(&b, "%s %d", name, in.Target)
+		} else {
+			fmt.Fprintf(&b, "%s %v, %d", name, in.Guard, in.Target)
+		}
+	case OpJmpInd:
+		fmt.Fprintf(&b, "jmpi %v", in.Src1)
+	case OpCall:
+		fmt.Fprintf(&b, "call %d, %v", in.Target, in.Dst)
+	case OpRet:
+		fmt.Fprintf(&b, "ret %v", in.Src1)
+	default:
+		fmt.Fprintf(&b, "%v ?", in.Op)
+	}
+	return b.String()
+}

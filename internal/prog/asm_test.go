@@ -1,0 +1,143 @@
+package prog
+
+import (
+	"strings"
+	"testing"
+
+	"wishbranch/internal/isa"
+)
+
+func TestParseBasicProgram(t *testing.T) {
+	p, err := Parse(`
+		; compute 5! iteratively
+		movi r1 = 1          # accumulator
+		movi r2 = 5
+	LOOP:
+		mul r1 = r1, r2
+		sub r2 = r2, 1
+		cmp.gt p1 = r2, 1
+		br p1, LOOP
+		halt
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(p.Code); got != 7 {
+		t.Fatalf("parsed %d µops, want 7:\n%s", got, p.Disassemble())
+	}
+	if p.Code[5].Target != 2 {
+		t.Errorf("branch target = %d, want 2", p.Code[5].Target)
+	}
+}
+
+func TestParseAllForms(t *testing.T) {
+	p, err := Parse(`
+	START:
+		nop
+		movi r1 = -42
+		mov r2 = r1
+		add r3 = r1, r2
+		xor r4 = r3, 0xFF
+		cmp.lt p1, p2 = r3, r4
+		cmp.eq p3 = r1, -42
+		pset p4 = 1
+		por p5 = p1, p4
+		pand p6 = p2, p4
+		pnot p7 = p6
+		(p1) ld r5 = [r2+16]
+		(p2) st [r2-8] = r5
+		wish.jump p1, THEN
+		(p2) movi r6 = 1
+		wish.join p2, JOIN
+	THEN:
+		(p1) movi r6 = 0
+	JOIN:
+		wish.loop p3, START
+		call SUB, r63
+		halt
+	SUB:
+		jmpi r63
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Spot checks.
+	if !p.Code[13].IsWish() || p.Code[13].WType != isa.WJump {
+		t.Errorf("µop 13 = %v, want wish.jump", p.Code[13])
+	}
+	if p.Code[11].Guard != 1 || p.Code[11].Op != isa.OpLoad || p.Code[11].Imm != 16 {
+		t.Errorf("µop 11 = %v", p.Code[11])
+	}
+	if p.Code[12].Imm != -8 {
+		t.Errorf("store offset = %d, want -8", p.Code[12].Imm)
+	}
+	if p.Code[18].Op != isa.OpCall {
+		t.Errorf("µop 18 = %v, want call", p.Code[18])
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, src := range []string{
+		"frob r1 = r2, r3\nhalt",
+		"add r1 = r2\nhalt",
+		"br p1\nhalt",
+		"ld r1 = r2\nhalt",
+		"movi r99 = 1\nhalt",
+		"cmp.zz p1 = r1, r2\nhalt",
+		"(p1 add r1 = r1, 1\nhalt",
+		"br p1, NOWHERE\nhalt",
+	} {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse accepted %q", strings.Split(src, "\n")[0])
+		}
+	}
+}
+
+// TestDisassembleParseRoundTrip: parsing a program's disassembly must
+// reproduce the exact instruction sequence — for a hand-built program
+// covering every µop class.
+func TestDisassembleParseRoundTrip(t *testing.T) {
+	b := NewBuilder()
+	b.Label("entry")
+	b.Emit(
+		isa.MovI(1, 7),
+		isa.Mov(2, 1),
+		isa.ALU(isa.OpAdd, 3, 1, 2),
+		isa.ALUI(isa.OpXor, 4, 3, 0x55),
+		isa.Guarded(2, isa.ALUI(isa.OpSub, 4, 4, 3)),
+		isa.Cmp(isa.CmpLE, 1, 2, 3, 4),
+		isa.CmpI(isa.CmpNE, 3, isa.PNone, 4, 9),
+		isa.PSet(5, 1),
+		isa.POr(6, 1, 5),
+		isa.PAnd(7, 2, 5),
+		isa.PNot(8, 7),
+		isa.Load(5, 2, 24),
+		isa.Store(2, -16, 5),
+	)
+	b.WishL(isa.WJump, 1, "later")
+	b.Emit(isa.Guarded(2, isa.Nop()))
+	b.WishL(isa.WJoin, 2, "later")
+	b.Label("later")
+	b.BrL(3, "entry")
+	b.Emit(isa.Halt())
+	p := b.MustFinish()
+
+	p2, err := Parse(p.Disassemble())
+	if err != nil {
+		t.Fatalf("re-parse: %v\n%s", err, p.Disassemble())
+	}
+	if len(p2.Code) != len(p.Code) {
+		t.Fatalf("round trip changed length: %d -> %d", len(p.Code), len(p2.Code))
+	}
+	for i := range p.Code {
+		a, c := p.Code[i], p2.Code[i]
+		// Labels are positional; compare semantic fields.
+		if a.Op != c.Op || a.Guard != c.Guard || a.Dst != c.Dst ||
+			a.Src1 != c.Src1 || a.Src2 != c.Src2 || a.Imm != c.Imm ||
+			a.UseImm != c.UseImm || a.CC != c.CC || a.PDst != c.PDst ||
+			a.PDst2 != c.PDst2 || a.PSrc1 != c.PSrc1 || a.PSrc2 != c.PSrc2 ||
+			a.BType != c.BType || a.WType != c.WType || a.Target != c.Target {
+			t.Errorf("µop %d: %v != %v", i, a, c)
+		}
+	}
+}

@@ -1,0 +1,124 @@
+// Package prog represents µop programs as labeled basic blocks and
+// provides a builder for constructing them, label resolution into a
+// flat instruction array, and structural validation.
+//
+// A Program is the unit the compiler emits and both the functional
+// emulator (package emu) and the timing simulator (package cpu) consume.
+// PCs are µop indices into the flattened Code slice; the byte address of
+// µop i is CodeBase + i*isa.InstBytes, which is what the I-cache model
+// uses.
+package prog
+
+import (
+	"fmt"
+	"strings"
+
+	"wishbranch/internal/isa"
+)
+
+// CodeBase is the byte address of µop index 0.
+const CodeBase = 0x1000
+
+// Program is a fully resolved µop program.
+type Program struct {
+	// Code is the flattened instruction array; branch targets are µop
+	// indices into it.
+	Code []isa.Inst
+	// Entry is the µop index where execution starts.
+	Entry int
+	// Labels maps label names to µop indices (for diagnostics and
+	// disassembly).
+	Labels map[string]int
+	// BlockStarts holds the µop index of every basic-block boundary in
+	// ascending order (for disassembly and static statistics).
+	BlockStarts []int
+}
+
+// Addr returns the byte address of µop index i.
+func Addr(i int) uint64 { return CodeBase + uint64(i)*isa.InstBytes }
+
+// Index returns the µop index of byte address a, or -1 if a is not a
+// valid µop address.
+func Index(a uint64) int {
+	if a < CodeBase || (a-CodeBase)%isa.InstBytes != 0 {
+		return -1
+	}
+	return int((a - CodeBase) / isa.InstBytes)
+}
+
+// NumInsts returns the number of µops in the program.
+func (p *Program) NumInsts() int { return len(p.Code) }
+
+// LabelAt returns the label at µop index i, if any.
+func (p *Program) LabelAt(i int) (string, bool) {
+	for name, idx := range p.Labels {
+		if idx == i {
+			return name, true
+		}
+	}
+	return "", false
+}
+
+// StaticCondBranches returns the number of static conditional branches,
+// and how many of those are wish branches.
+func (p *Program) StaticCondBranches() (cond, wish int) {
+	for i := range p.Code {
+		in := &p.Code[i]
+		if in.IsCondBranch() {
+			cond++
+			if in.IsWish() {
+				wish++
+			}
+		}
+	}
+	return cond, wish
+}
+
+// Validate checks structural invariants: all instructions valid, all
+// branch targets in range, entry in range, and the program ends in a
+// reachable HALT (at least one HALT exists).
+func (p *Program) Validate() error {
+	if len(p.Code) == 0 {
+		return fmt.Errorf("prog: empty program")
+	}
+	if p.Entry < 0 || p.Entry >= len(p.Code) {
+		return fmt.Errorf("prog: entry %d out of range [0,%d)", p.Entry, len(p.Code))
+	}
+	haveHalt := false
+	for i := range p.Code {
+		in := &p.Code[i]
+		if err := in.Valid(); err != nil {
+			return fmt.Errorf("prog: µop %d (%v): %w", i, in, err)
+		}
+		if in.Op == isa.OpHalt {
+			haveHalt = true
+		}
+		if in.IsBranch() && in.Op != isa.OpJmpInd && in.Op != isa.OpRet {
+			if in.Target < 0 || in.Target >= len(p.Code) {
+				return fmt.Errorf("prog: µop %d (%v): target %d out of range", i, in, in.Target)
+			}
+		}
+	}
+	if !haveHalt {
+		return fmt.Errorf("prog: program has no HALT")
+	}
+	return nil
+}
+
+// Disassemble renders the program as text with labels and indices.
+func (p *Program) Disassemble() string {
+	var b strings.Builder
+	starts := make(map[int]bool, len(p.BlockStarts))
+	for _, s := range p.BlockStarts {
+		starts[s] = true
+	}
+	for i, in := range p.Code {
+		if name, ok := p.LabelAt(i); ok {
+			fmt.Fprintf(&b, "%s:\n", name)
+		} else if starts[i] {
+			fmt.Fprintf(&b, ".L%d:\n", i)
+		}
+		fmt.Fprintf(&b, "%6d  %v\n", i, in)
+	}
+	return b.String()
+}

@@ -1,0 +1,132 @@
+package prog
+
+import (
+	"strings"
+	"testing"
+
+	"wishbranch/internal/isa"
+)
+
+func TestAddrIndexRoundTrip(t *testing.T) {
+	for _, i := range []int{0, 1, 7, 1000, 1 << 20} {
+		if got := Index(Addr(i)); got != i {
+			t.Errorf("Index(Addr(%d)) = %d", i, got)
+		}
+	}
+	if Index(CodeBase+1) != -1 {
+		t.Error("misaligned address should yield -1")
+	}
+	if Index(CodeBase-isa.InstBytes) != -1 {
+		t.Error("address below CodeBase should yield -1")
+	}
+}
+
+func TestBuilderResolvesLabels(t *testing.T) {
+	b := NewBuilder()
+	b.Label("start")
+	b.Emit(isa.MovI(1, 5))
+	b.BrL(isa.P0, "end")
+	b.Emit(isa.MovI(1, 6)) // skipped
+	b.Label("end")
+	b.Emit(isa.Halt())
+	p, err := b.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Code[1].Target != 3 {
+		t.Errorf("branch target = %d, want 3", p.Code[1].Target)
+	}
+	if name, ok := p.LabelAt(0); !ok || name != "start" {
+		t.Errorf("LabelAt(0) = %q, %v", name, ok)
+	}
+}
+
+func TestBuilderUndefinedLabel(t *testing.T) {
+	b := NewBuilder()
+	b.JmpL("nowhere")
+	b.Emit(isa.Halt())
+	if _, err := b.Finish(); err == nil || !strings.Contains(err.Error(), "nowhere") {
+		t.Errorf("Finish() = %v, want undefined-label error", err)
+	}
+}
+
+func TestBuilderDuplicateLabelPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("duplicate label did not panic")
+		}
+	}()
+	b := NewBuilder()
+	b.Label("x")
+	b.Label("x")
+}
+
+func TestValidateCatchesProblems(t *testing.T) {
+	cases := []struct {
+		name string
+		p    Program
+	}{
+		{"empty", Program{}},
+		{"no-halt", Program{Code: []isa.Inst{isa.Nop()}}},
+		{"bad-entry", Program{Code: []isa.Inst{isa.Halt()}, Entry: 5}},
+		{"bad-target", Program{Code: []isa.Inst{isa.Br(1, 99), isa.Halt()}}},
+	}
+	for _, c := range cases {
+		if err := c.p.Validate(); err == nil {
+			t.Errorf("%s: Validate() accepted invalid program", c.name)
+		}
+	}
+}
+
+func TestEntryLabel(t *testing.T) {
+	b := NewBuilder()
+	b.Emit(isa.Halt())
+	b.Label("main")
+	b.Emit(isa.MovI(1, 1))
+	b.Emit(isa.Halt())
+	b.SetEntry("main")
+	p := b.MustFinish()
+	if p.Entry != 1 {
+		t.Errorf("entry = %d, want 1", p.Entry)
+	}
+}
+
+func TestStaticCondBranches(t *testing.T) {
+	b := NewBuilder()
+	b.Emit(isa.CmpI(isa.CmpLT, 1, isa.PNone, 2, 5))
+	b.BrL(1, "x")
+	b.WishL(isa.WJump, 2, "x")
+	b.JmpL("x") // unconditional: not counted
+	b.Label("x")
+	b.Emit(isa.Halt())
+	p := b.MustFinish()
+	cond, wish := p.StaticCondBranches()
+	if cond != 2 || wish != 1 {
+		t.Errorf("cond=%d wish=%d, want 2,1", cond, wish)
+	}
+}
+
+func TestDisassembleShowsLabels(t *testing.T) {
+	b := NewBuilder()
+	b.Label("loop")
+	b.Emit(isa.ALUI(isa.OpAdd, 1, 1, 1))
+	b.BrL(2, "loop")
+	b.Emit(isa.Halt())
+	p := b.MustFinish()
+	d := p.Disassemble()
+	if !strings.Contains(d, "loop:") || !strings.Contains(d, "br p2, 0") {
+		t.Errorf("disassembly missing content:\n%s", d)
+	}
+}
+
+func TestCallLabel(t *testing.T) {
+	b := NewBuilder()
+	b.CallL("sub")
+	b.Emit(isa.Halt())
+	b.Label("sub")
+	b.Emit(isa.Ret())
+	p := b.MustFinish()
+	if p.Code[0].Op != isa.OpCall || p.Code[0].Target != 2 {
+		t.Errorf("call = %v", p.Code[0])
+	}
+}

@@ -1,0 +1,154 @@
+// Package stats provides the small reporting toolkit the experiment
+// harness uses: aligned text tables, ASCII bar charts for the paper's
+// normalized-execution-time figures, and mean helpers.
+package stats
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table is a simple aligned text table.
+type Table struct {
+	Title string
+	Cols  []string
+	rows  [][]string
+}
+
+// NewTable creates a table with the given title and column headers.
+func NewTable(title string, cols ...string) *Table {
+	return &Table{Title: title, Cols: cols}
+}
+
+// AddRow appends one row; missing cells render empty.
+func (t *Table) AddRow(cells ...string) {
+	t.rows = append(t.rows, cells)
+}
+
+// Fprint renders the table.
+func (t *Table) Fprint(w io.Writer) {
+	widths := make([]int, len(t.Cols))
+	for i, c := range t.Cols {
+		widths[i] = len(c)
+	}
+	for _, r := range t.rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	if t.Title != "" {
+		fmt.Fprintf(w, "%s\n", t.Title)
+	}
+	var line strings.Builder
+	for i, c := range t.Cols {
+		fmt.Fprintf(&line, "%-*s  ", widths[i], c)
+	}
+	fmt.Fprintln(w, strings.TrimRight(line.String(), " "))
+	fmt.Fprintln(w, strings.Repeat("-", sum(widths)+2*len(widths)-2))
+	for _, r := range t.rows {
+		line.Reset()
+		for i := range t.Cols {
+			c := ""
+			if i < len(r) {
+				c = r[i]
+			}
+			fmt.Fprintf(&line, "%-*s  ", widths[i], c)
+		}
+		fmt.Fprintln(w, strings.TrimRight(line.String(), " "))
+	}
+}
+
+func sum(xs []int) int {
+	s := 0
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}
+
+// F formats a float with 3 decimals (the normalized-time precision the
+// paper's figures resolve).
+func F(v float64) string { return fmt.Sprintf("%.3f", v) }
+
+// Pct formats a ratio change as a signed percentage.
+func Pct(v float64) string { return fmt.Sprintf("%+.1f%%", v*100) }
+
+// Mean returns the arithmetic mean (the paper averages normalized
+// execution times arithmetically, reporting AVG and AVGnomcf).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Chart renders grouped horizontal bars, one group per label — the
+// textual stand-in for the paper's bar figures.
+type Chart struct {
+	Title  string
+	Series []string
+	groups []chartGroup
+	// MaxBar is the bar width in characters for the largest value.
+	MaxBar int
+}
+
+type chartGroup struct {
+	label  string
+	values []float64
+}
+
+// NewChart creates a chart whose groups each hold one value per series.
+func NewChart(title string, series ...string) *Chart {
+	return &Chart{Title: title, Series: series, MaxBar: 50}
+}
+
+// AddGroup appends a labeled group of values (one per series).
+func (c *Chart) AddGroup(label string, values ...float64) {
+	c.groups = append(c.groups, chartGroup{label, values})
+}
+
+// Fprint renders the chart.
+func (c *Chart) Fprint(w io.Writer) {
+	if c.Title != "" {
+		fmt.Fprintf(w, "%s\n", c.Title)
+	}
+	maxV := 0.0
+	labW, serW := 0, 0
+	for _, g := range c.groups {
+		if len(g.label) > labW {
+			labW = len(g.label)
+		}
+		for _, v := range g.values {
+			if v > maxV {
+				maxV = v
+			}
+		}
+	}
+	for _, s := range c.Series {
+		if len(s) > serW {
+			serW = len(s)
+		}
+	}
+	if maxV == 0 {
+		maxV = 1
+	}
+	for _, g := range c.groups {
+		fmt.Fprintf(w, "%s\n", g.label)
+		for i, v := range g.values {
+			name := ""
+			if i < len(c.Series) {
+				name = c.Series[i]
+			}
+			n := int(v / maxV * float64(c.MaxBar))
+			fmt.Fprintf(w, "  %-*s %-*s %s %.3f\n", labW, "", serW, name,
+				strings.Repeat("#", n), v)
+		}
+	}
+}

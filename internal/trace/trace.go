@@ -1,0 +1,307 @@
+// Package trace implements the trace-generation side of the paper's
+// simulation infrastructure (Figure 9): the dynamic execution of a
+// binary serialized as a compact stream of per-µop events — program
+// counter, direction, guard value, and memory effects — exactly the
+// information the paper's Pin-based trace generator recorded ("the
+// trace contains the PC, predicate register, register value, memory
+// address, binary encoding ... for each instruction", §4.3).
+//
+// The timing simulator in this repository is execution-driven and does
+// not consume traces; this package exists for the methodology artifact
+// the paper describes (and cmd/wishtrace exposes): capturing, storing,
+// inspecting, and summarizing dynamic µop traces.
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"wishbranch/internal/emu"
+	"wishbranch/internal/isa"
+	"wishbranch/internal/prog"
+)
+
+// Event is one dynamic µop in a trace.
+type Event struct {
+	PC        uint32 // µop index
+	NextPC    uint32 // µop index of the successor
+	GuardTrue bool
+	Taken     bool // control transferred (branches)
+	IsMem     bool
+	IsStore   bool
+	Halt      bool
+	Addr      uint64 // valid when IsMem && GuardTrue
+	Value     int64  // loaded/stored value when IsMem && GuardTrue
+}
+
+// FromStep converts an emulator step into a trace event.
+func FromStep(s emu.Step) Event {
+	e := Event{
+		PC:        uint32(s.PC),
+		NextPC:    uint32(s.NextPC),
+		GuardTrue: s.GuardTrue,
+		Taken:     s.Taken,
+		Halt:      s.Halted,
+	}
+	if s.Inst.IsMem() {
+		e.IsMem = true
+		e.IsStore = s.Inst.Op == isa.OpStore
+		if s.GuardTrue {
+			e.Addr = s.Addr
+			e.Value = s.Value
+		}
+	}
+	return e
+}
+
+// Stream framing.
+const (
+	magic   = "WBTR"
+	version = 1
+)
+
+// Event flag bits.
+const (
+	fGuard byte = 1 << iota
+	fTaken
+	fMem
+	fStore
+	fHalt
+	fSeqPC // PC == previous event's NextPC (the common case; PC omitted)
+)
+
+// Writer serializes events. Create with NewWriter; call Flush when
+// done.
+type Writer struct {
+	bw     *bufio.Writer
+	prev   uint32 // previous event's NextPC
+	wrote  bool
+	Events uint64
+}
+
+// NewWriter writes the stream header and returns a Writer.
+func NewWriter(w io.Writer) (*Writer, error) {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(magic); err != nil {
+		return nil, err
+	}
+	if err := bw.WriteByte(version); err != nil {
+		return nil, err
+	}
+	return &Writer{bw: bw}, nil
+}
+
+func putUvarint(bw *bufio.Writer, v uint64) error {
+	var buf [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(buf[:], v)
+	_, err := bw.Write(buf[:n])
+	return err
+}
+
+// Write appends one event.
+func (w *Writer) Write(e Event) error {
+	flags := byte(0)
+	if e.GuardTrue {
+		flags |= fGuard
+	}
+	if e.Taken {
+		flags |= fTaken
+	}
+	if e.IsMem {
+		flags |= fMem
+	}
+	if e.IsStore {
+		flags |= fStore
+	}
+	if e.Halt {
+		flags |= fHalt
+	}
+	if w.wrote && e.PC == w.prev {
+		flags |= fSeqPC
+	}
+	if err := w.bw.WriteByte(flags); err != nil {
+		return err
+	}
+	if flags&fSeqPC == 0 {
+		if err := putUvarint(w.bw, uint64(e.PC)); err != nil {
+			return err
+		}
+	}
+	if err := putUvarint(w.bw, uint64(e.NextPC)); err != nil {
+		return err
+	}
+	if e.IsMem && e.GuardTrue {
+		if err := putUvarint(w.bw, e.Addr); err != nil {
+			return err
+		}
+		if err := putUvarint(w.bw, uint64(e.Value)); err != nil {
+			return err
+		}
+	}
+	w.prev = e.NextPC
+	w.wrote = true
+	w.Events++
+	return nil
+}
+
+// Flush drains buffered output.
+func (w *Writer) Flush() error { return w.bw.Flush() }
+
+// Reader deserializes a trace stream.
+type Reader struct {
+	br   *bufio.Reader
+	prev uint32
+	read bool
+}
+
+// NewReader validates the header and returns a Reader.
+func NewReader(r io.Reader) (*Reader, error) {
+	br := bufio.NewReader(r)
+	head := make([]byte, len(magic)+1)
+	if _, err := io.ReadFull(br, head); err != nil {
+		return nil, fmt.Errorf("trace: short header: %w", err)
+	}
+	if string(head[:len(magic)]) != magic {
+		return nil, fmt.Errorf("trace: bad magic %q", head[:len(magic)])
+	}
+	if head[len(magic)] != version {
+		return nil, fmt.Errorf("trace: unsupported version %d", head[len(magic)])
+	}
+	return &Reader{br: br}, nil
+}
+
+// Next returns the next event, or io.EOF at end of stream.
+func (r *Reader) Next() (Event, error) {
+	flags, err := r.br.ReadByte()
+	if err != nil {
+		if err == io.EOF {
+			return Event{}, io.EOF
+		}
+		return Event{}, fmt.Errorf("trace: %w", err)
+	}
+	var e Event
+	e.GuardTrue = flags&fGuard != 0
+	e.Taken = flags&fTaken != 0
+	e.IsMem = flags&fMem != 0
+	e.IsStore = flags&fStore != 0
+	e.Halt = flags&fHalt != 0
+	if flags&fSeqPC != 0 {
+		if !r.read {
+			return Event{}, fmt.Errorf("trace: sequential-PC flag on first event")
+		}
+		e.PC = r.prev
+	} else {
+		v, err := binary.ReadUvarint(r.br)
+		if err != nil {
+			return Event{}, fmt.Errorf("trace: truncated PC: %w", err)
+		}
+		e.PC = uint32(v)
+	}
+	v, err := binary.ReadUvarint(r.br)
+	if err != nil {
+		return Event{}, fmt.Errorf("trace: truncated NextPC: %w", err)
+	}
+	e.NextPC = uint32(v)
+	if e.IsMem && e.GuardTrue {
+		a, err := binary.ReadUvarint(r.br)
+		if err != nil {
+			return Event{}, fmt.Errorf("trace: truncated address: %w", err)
+		}
+		e.Addr = a
+		val, err := binary.ReadUvarint(r.br)
+		if err != nil {
+			return Event{}, fmt.Errorf("trace: truncated value: %w", err)
+		}
+		e.Value = int64(val)
+	}
+	r.prev = e.NextPC
+	r.read = true
+	return e, nil
+}
+
+// Summary aggregates a trace.
+type Summary struct {
+	Events   uint64
+	Guarded  uint64 // guarded-false µops (predication NOPs)
+	Branches uint64 // taken control transfers
+	Loads    uint64
+	Stores   uint64
+	Halted   bool
+}
+
+func (s Summary) String() string {
+	return fmt.Sprintf("%d µops (%d predicated-false), %d taken transfers, %d loads, %d stores, halted=%v",
+		s.Events, s.Guarded, s.Branches, s.Loads, s.Stores, s.Halted)
+}
+
+func (s *Summary) add(e Event) {
+	s.Events++
+	if !e.GuardTrue {
+		s.Guarded++
+	}
+	if e.Taken {
+		s.Branches++
+	}
+	if e.IsMem && e.GuardTrue {
+		if e.IsStore {
+			s.Stores++
+		} else {
+			s.Loads++
+		}
+	}
+	if e.Halt {
+		s.Halted = true
+	}
+}
+
+// Capture functionally executes the program (with the given memory
+// image) and writes its full dynamic trace to w, returning a summary.
+// maxInsts of 0 means no limit.
+func Capture(p *prog.Program, mem func(*emu.Memory), w io.Writer, maxInsts uint64) (Summary, error) {
+	tw, err := NewWriter(w)
+	if err != nil {
+		return Summary{}, err
+	}
+	st := emu.New(p)
+	if mem != nil {
+		mem(st.Mem)
+	}
+	var sum Summary
+	var werr error
+	_, rerr := st.Run(maxInsts, func(s emu.Step) {
+		if werr != nil {
+			return
+		}
+		e := FromStep(s)
+		sum.add(e)
+		werr = tw.Write(e)
+	})
+	if werr != nil {
+		return sum, werr
+	}
+	if rerr != nil {
+		return sum, rerr
+	}
+	return sum, tw.Flush()
+}
+
+// Summarize reads an entire trace stream and aggregates it.
+func Summarize(r io.Reader) (Summary, error) {
+	tr, err := NewReader(r)
+	if err != nil {
+		return Summary{}, err
+	}
+	var sum Summary
+	for {
+		e, err := tr.Next()
+		if err == io.EOF {
+			return sum, nil
+		}
+		if err != nil {
+			return sum, err
+		}
+		sum.add(e)
+	}
+}

@@ -1,0 +1,141 @@
+package trace
+
+import (
+	"bytes"
+	"io"
+	"testing"
+	"testing/quick"
+
+	"wishbranch/internal/compiler"
+	"wishbranch/internal/emu"
+	"wishbranch/internal/workload"
+)
+
+func TestEventRoundTripProperty(t *testing.T) {
+	f := func(pcs []uint32, flags []uint8, addrs []uint64, vals []int64) bool {
+		n := len(pcs)
+		for _, s := range []int{len(flags), len(addrs), len(vals)} {
+			if s < n {
+				n = s
+			}
+		}
+		var events []Event
+		for i := 0; i < n; i++ {
+			e := Event{
+				PC:        pcs[i] % (1 << 20),
+				GuardTrue: flags[i]&1 != 0,
+				Taken:     flags[i]&2 != 0,
+				IsMem:     flags[i]&4 != 0,
+				IsStore:   flags[i]&8 != 0,
+			}
+			e.NextPC = e.PC + 1
+			if e.Taken {
+				e.NextPC = uint32(addrs[i] % (1 << 20))
+			}
+			if e.IsMem && e.GuardTrue {
+				e.Addr = addrs[i]
+				e.Value = vals[i]
+			}
+			events = append(events, e)
+		}
+		var buf bytes.Buffer
+		w, err := NewWriter(&buf)
+		if err != nil {
+			return false
+		}
+		for _, e := range events {
+			if w.Write(e) != nil {
+				return false
+			}
+		}
+		if w.Flush() != nil {
+			return false
+		}
+		r, err := NewReader(&buf)
+		if err != nil {
+			return false
+		}
+		for i := 0; ; i++ {
+			e, err := r.Next()
+			if err == io.EOF {
+				return i == len(events)
+			}
+			if err != nil || i >= len(events) || e != events[i] {
+				return false
+			}
+		}
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCaptureMatchesEmulator(t *testing.T) {
+	b, _ := workload.ByName("parser")
+	old := workload.Scale
+	workload.Scale = 0.05
+	defer func() { workload.Scale = old }()
+	src, mem := b.Build(workload.InputA)
+	p := compiler.MustCompile(src, compiler.WishJumpJoinLoop)
+
+	var buf bytes.Buffer
+	sum, err := Capture(p, mem, &buf, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The trace must contain exactly the µops the emulator retires.
+	st := emu.New(p)
+	mem(st.Mem)
+	n, err := st.Run(0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Events != n {
+		t.Errorf("trace has %d events, emulator executed %d", sum.Events, n)
+	}
+	if !sum.Halted {
+		t.Error("trace summary not halted")
+	}
+	if sum.Guarded == 0 {
+		t.Error("a predicated binary's trace should contain guarded-false µops")
+	}
+
+	// Re-reading the stream reproduces the summary.
+	sum2, err := Summarize(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum2 != sum {
+		t.Errorf("summaries differ: %+v vs %+v", sum, sum2)
+	}
+
+	// Compactness sanity: well under 4 bytes per µop for sequential code.
+	if perUop := float64(buf.Len()) / float64(sum.Events); perUop > 4 {
+		t.Errorf("trace uses %.1f bytes/µop", perUop)
+	}
+}
+
+func TestReaderRejectsGarbage(t *testing.T) {
+	if _, err := NewReader(bytes.NewReader([]byte("NOPE1234"))); err == nil {
+		t.Error("bad magic accepted")
+	}
+	if _, err := NewReader(bytes.NewReader([]byte("WBTR\x7f"))); err == nil {
+		t.Error("bad version accepted")
+	}
+	if _, err := NewReader(bytes.NewReader(nil)); err == nil {
+		t.Error("empty stream accepted")
+	}
+	// Truncated event body.
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf)
+	w.Write(Event{PC: 5, NextPC: 6})
+	w.Flush()
+	trunc := buf.Bytes()[:buf.Len()-1]
+	r, err := NewReader(bytes.NewReader(trunc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Next(); err == nil || err == io.EOF {
+		t.Errorf("truncated event: err = %v, want decode error", err)
+	}
+}

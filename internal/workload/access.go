@@ -1,0 +1,93 @@
+package workload
+
+import "wishbranch/internal/isa"
+
+// The paper runs MinneSPEC reduced inputs, which are small enough to be
+// cache-resident (Table 4 shows µPCs around 0.8–1.5 even for mcf).
+// A naive synthetic workload that streams a long array once is instead
+// dominated by cold cache misses, and performance degenerates into a
+// memory-level-parallelism contest that drowns the branch effects the
+// experiments are about. The benchmarks therefore walk a small
+// cache-resident array many times ("passes").
+//
+// Re-walking identical data would let the history-based predictors
+// memorize even "random" branch outcomes across passes (a 16-bit
+// history of coin flips effectively names the array position), so every
+// pass perturbs the loaded values with a pass-derived seed before the
+// branch condition is evaluated: branches meant to be hard stay hard on
+// every pass, while structurally fixed elements (zeros) keep their
+// direction.
+
+// elemBytesLog is the log2 of the element size (8-byte words).
+const elemBytesLog = 3
+
+// loadElem emits µops that load element (i mod 2^kLog) of the array at
+// base into dst, and compute an odd pass seed into seed:
+//
+//	addrTmp = base + (i & (2^kLog - 1)) * 8
+//	dst     = Mem[addrTmp]
+//	seed    = ((i >> kLog) * mix) | 1
+//
+// The caller combines dst and seed to form its branch condition inputs
+// (e.g. (dst*seed)&mask for coin flips that re-randomize per pass, or
+// (dst+seed)&mask for uniform values).
+func loadElem(dst, addrTmp, seed isa.Reg, i isa.Reg, base int64, kLog uint, mix int64) []isa.Inst {
+	return []isa.Inst{
+		isa.ALUI(isa.OpAnd, addrTmp, i, 1<<kLog-1),
+		isa.ALUI(isa.OpShl, addrTmp, addrTmp, elemBytesLog),
+		isa.ALUI(isa.OpAdd, addrTmp, addrTmp, base),
+		isa.Load(dst, addrTmp, 0),
+		isa.ALUI(isa.OpShr, seed, i, int64(kLog)),
+		isa.ALUI(isa.OpMul, seed, seed, mix),
+		isa.ALUI(isa.OpOr, seed, seed, 1),
+	}
+}
+
+// coinFlip emits µops turning (val, seed) into a value in [0, 2^bits)
+// that is uniform per pass for odd val and zero for val == 0:
+//
+//	out = (val * seed) & (2^bits - 1)
+func coinFlip(out, val, seed isa.Reg, bits uint) []isa.Inst {
+	return []isa.Inst{
+		isa.ALU(isa.OpMul, out, val, seed),
+		isa.ALUI(isa.OpAnd, out, out, 1<<bits-1),
+	}
+}
+
+// wideBlock returns k µops of mostly independent work spread across the
+// four accumulators r16-r19, mixing in src, with a serial depth of
+// about k/4. Real hammock blocks have instruction-level parallelism;
+// a block that chains serially into one register would make predication
+// look like a 2x dataflow catastrophe instead of the fetch/issue
+// bandwidth overhead the paper measures.
+func wideBlock(src isa.Reg, k int, salt int64) []isa.Inst {
+	ops := [4]isa.Op{isa.OpAdd, isa.OpXor, isa.OpSub, isa.OpOr}
+	is := make([]isa.Inst, 0, k)
+	for j := 0; j < k; j++ {
+		acc := isa.Reg(16 + j%4)
+		switch j % 3 {
+		case 0:
+			is = append(is, isa.ALU(ops[j%4], acc, acc, src))
+		case 1:
+			is = append(is, isa.ALUI(ops[(j+1)%4], acc, acc, salt+int64(j)))
+		default:
+			is = append(is, isa.ALUI(isa.OpAnd, acc, acc, 0xFFFFFFF))
+		}
+	}
+	return is
+}
+
+// uniformMix emits µops turning (val, seed) into a uniform value in
+// [0, 2^bits) that re-randomizes each pass:
+//
+//	out = (val + seed*val + seed) & (2^bits - 1)
+//
+// computed as (val+1)*(seed+1)-1 truncated; a single multiply keeps it
+// cheap while mixing both inputs.
+func uniformMix(out, val, seed isa.Reg, bits uint) []isa.Inst {
+	return []isa.Inst{
+		isa.ALUI(isa.OpAdd, out, val, 1),
+		isa.ALU(isa.OpMul, out, out, seed),
+		isa.ALUI(isa.OpAnd, out, out, 1<<bits-1),
+	}
+}

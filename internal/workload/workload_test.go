@@ -1,0 +1,128 @@
+package workload
+
+import (
+	"testing"
+
+	"wishbranch/internal/compiler"
+	"wishbranch/internal/emu"
+	"wishbranch/internal/prog"
+)
+
+// TestAllBenchmarksEquivalentAcrossVariants is the central correctness
+// check: every benchmark, every input set, all five binary variants
+// must compute identical architectural results (accumulators r16/r17).
+func TestAllBenchmarksEquivalentAcrossVariants(t *testing.T) {
+	old := Scale
+	Scale = 0.12
+	defer func() { Scale = old }()
+
+	for _, b := range All() {
+		for _, in := range Inputs() {
+			src, mem := b.Build(in)
+			var refR16, refR17 int64
+			var refUops uint64
+			for _, v := range compiler.Variants() {
+				p, err := compiler.Compile(src, v)
+				if err != nil {
+					t.Fatalf("%s/%v/%v: compile: %v", b.Name, in, v, err)
+				}
+				st := emu.New(p)
+				mem(st.Mem)
+				n, err := st.Run(80_000_000, nil)
+				if err != nil {
+					t.Fatalf("%s/%v/%v: run: %v", b.Name, in, v, err)
+				}
+				if v == compiler.NormalBranch {
+					refR16, refR17, refUops = st.Regs[16], st.Regs[17], n
+					continue
+				}
+				if st.Regs[16] != refR16 || st.Regs[17] != refR17 {
+					t.Errorf("%s/%v/%v: r16=%d r17=%d, want r16=%d r17=%d",
+						b.Name, in, v, st.Regs[16], st.Regs[17], refR16, refR17)
+				}
+				_ = refUops
+			}
+		}
+	}
+}
+
+// TestWishBinariesContainWishBranches checks each benchmark's wish
+// binary actually has wish branches, and the jjl binary has wish loops.
+func TestWishBinariesContainWishBranches(t *testing.T) {
+	for _, b := range All() {
+		src, _ := b.Build(InputA)
+		jj := compiler.MustCompile(src, compiler.WishJumpJoin)
+		if _, wish := jj.StaticCondBranches(); wish == 0 {
+			t.Errorf("%s: wish-jj binary has no wish branches", b.Name)
+		}
+		jjl := compiler.MustCompile(src, compiler.WishJumpJoinLoop)
+		_, wishJJL := jjl.StaticCondBranches()
+		_, wishJJ := jj.StaticCondBranches()
+		if wishJJL <= wishJJ {
+			t.Errorf("%s: wish-jjl (%d) should have more wish branches than wish-jj (%d)",
+				b.Name, wishJJL, wishJJ)
+		}
+	}
+}
+
+// TestNormalBinaryHasNoWishBranches ensures the baseline really is a
+// plain conditional-branch binary.
+func TestNormalBinaryHasNoWishBranches(t *testing.T) {
+	for _, b := range All() {
+		src, _ := b.Build(InputA)
+		for _, v := range []compiler.Variant{compiler.NormalBranch, compiler.BaseDef, compiler.BaseMax} {
+			p := compiler.MustCompile(src, v)
+			if _, wish := p.StaticCondBranches(); wish != 0 {
+				t.Errorf("%s/%v: contains wish branches", b.Name, v)
+			}
+		}
+	}
+}
+
+// TestInputsDiffer verifies the three input sets actually produce
+// different data (Figure 1 depends on input-driven behaviour change).
+func TestInputsDiffer(t *testing.T) {
+	for _, b := range All() {
+		src, _ := b.Build(InputA)
+		results := make(map[int64]Input)
+		for _, in := range Inputs() {
+			src2, mem := b.Build(in)
+			p := compiler.MustCompile(src2, compiler.NormalBranch)
+			st := emu.New(p)
+			mem(st.Mem)
+			if _, err := st.Run(200_000_000, nil); err != nil {
+				t.Fatalf("%s/%v: %v", b.Name, in, err)
+			}
+			key := st.Regs[16] ^ st.Regs[17]
+			if prev, dup := results[key]; dup {
+				t.Errorf("%s: inputs %v and %v produce identical results", b.Name, prev, in)
+			}
+			results[key] = in
+		}
+		_ = src
+	}
+}
+
+// TestDisassemblyRoundTrips: every benchmark binary's disassembly must
+// re-parse into the identical instruction sequence (exercising the
+// prog assembler against real compiler output).
+func TestDisassemblyRoundTrips(t *testing.T) {
+	for _, b := range All() {
+		src, _ := b.Build(InputA)
+		for _, v := range compiler.Variants() {
+			p := compiler.MustCompile(src, v)
+			p2, err := prog.Parse(p.Disassemble())
+			if err != nil {
+				t.Fatalf("%s/%v: %v", b.Name, v, err)
+			}
+			if len(p2.Code) != len(p.Code) {
+				t.Fatalf("%s/%v: length %d -> %d", b.Name, v, len(p.Code), len(p2.Code))
+			}
+			for i := range p.Code {
+				if p.Code[i] != p2.Code[i] {
+					t.Fatalf("%s/%v µop %d: %v != %v", b.Name, v, i, p.Code[i], p2.Code[i])
+				}
+			}
+		}
+	}
+}
