@@ -30,19 +30,24 @@ const benchScale = 0.25
 
 func runExperiment(b *testing.B, id string) {
 	b.Helper()
-	old := workload.Scale
-	workload.Scale = benchScale
-	defer func() { workload.Scale = old }()
 	e, ok := exp.ByID(id)
 	if !ok {
 		b.Fatalf("unknown experiment %s", id)
 	}
 	for i := 0; i < b.N; i++ {
-		lab := exp.NewLab()
-		if err := e.Run(lab, io.Discard); err != nil {
+		lab := benchLab()
+		if err := exp.Run(e, lab, io.Discard); err != nil {
 			b.Fatal(err)
 		}
 	}
+}
+
+// benchLab returns a fresh serial lab at the benchmark scale.
+func benchLab() *exp.Lab {
+	l := exp.NewLab()
+	l.Scale = benchScale
+	l.Sched.Workers = 1
+	return l
 }
 
 // avgNorm reports the mean normalized execution time of a variant
@@ -82,12 +87,9 @@ func BenchmarkFig16(b *testing.B)  { runExperiment(b, "fig16") }
 // binary versus the predicated baselines (the paper reports 0.858 vs
 // normal and a 13.3% edge over the best predicated binary).
 func BenchmarkHeadline(b *testing.B) {
-	old := workload.Scale
-	workload.Scale = benchScale
-	defer func() { workload.Scale = old }()
 	m := config.DefaultMachine()
 	for i := 0; i < b.N; i++ {
-		lab := exp.NewLab()
+		lab := benchLab()
 		avgNorm(b, lab, compiler.BaseDef, m, "base-def")
 		avgNorm(b, lab, compiler.BaseMax, m, "base-max")
 		avgNorm(b, lab, compiler.WishJumpJoin, m, "wish-jj")
@@ -101,15 +103,12 @@ func BenchmarkHeadline(b *testing.B) {
 // low sends hard branches into high-confidence mode (flushes); too high
 // wastes predictable branches on predication overhead.
 func BenchmarkAblationJRSThreshold(b *testing.B) {
-	old := workload.Scale
-	workload.Scale = benchScale
-	defer func() { workload.Scale = old }()
 	for _, thr := range []int{2, 8, 14} {
 		b.Run(map[int]string{2: "thr2", 8: "thr8", 14: "thr14"}[thr], func(b *testing.B) {
 			m := config.DefaultMachine()
 			m.JRS.Threshold = thr
 			for i := 0; i < b.N; i++ {
-				lab := exp.NewLab()
+				lab := benchLab()
 				avgNorm(b, lab, compiler.WishJumpJoinLoop, m, "wish-jjl")
 			}
 		})
@@ -119,9 +118,6 @@ func BenchmarkAblationJRSThreshold(b *testing.B) {
 // BenchmarkAblationPredMech compares the two predication-support
 // mechanisms (§2.1 vs §5.3.3) on the predicated binary.
 func BenchmarkAblationPredMech(b *testing.B) {
-	old := workload.Scale
-	workload.Scale = benchScale
-	defer func() { workload.Scale = old }()
 	for _, sel := range []bool{false, true} {
 		name := "c-style"
 		if sel {
@@ -133,7 +129,7 @@ func BenchmarkAblationPredMech(b *testing.B) {
 				m = m.WithSelectUop()
 			}
 			for i := 0; i < b.N; i++ {
-				lab := exp.NewLab()
+				lab := benchLab()
 				avgNorm(b, lab, compiler.BaseMax, m, "base-max")
 			}
 		})
@@ -143,9 +139,6 @@ func BenchmarkAblationPredMech(b *testing.B) {
 // BenchmarkAblationLoopPredictor measures the optional biased
 // trip-count loop predictor the paper suggests in §3.2.
 func BenchmarkAblationLoopPredictor(b *testing.B) {
-	old := workload.Scale
-	workload.Scale = benchScale
-	defer func() { workload.Scale = old }()
 	for _, bias := range []int{-1, 0, 2} {
 		name := map[int]string{-1: "off", 0: "bias0", 2: "bias2"}[bias]
 		b.Run(name, func(b *testing.B) {
@@ -155,7 +148,7 @@ func BenchmarkAblationLoopPredictor(b *testing.B) {
 				m.LoopPredictorBias = bias
 			}
 			for i := 0; i < b.N; i++ {
-				lab := exp.NewLab()
+				lab := benchLab()
 				avgNorm(b, lab, compiler.WishJumpJoinLoop, m, "wish-jjl")
 			}
 		})
@@ -166,7 +159,7 @@ func BenchmarkAblationLoopPredictor(b *testing.B) {
 
 func BenchmarkEmulatorSteps(b *testing.B) {
 	bench, _ := workload.ByName("gzip")
-	src, mem := bench.Build(workload.InputA)
+	src, mem := bench.Build(workload.InputA, workload.DefaultScale)
 	p := compiler.MustCompile(src, compiler.NormalBranch)
 	b.ResetTimer()
 	total := uint64(0)
@@ -184,7 +177,7 @@ func BenchmarkEmulatorSteps(b *testing.B) {
 
 func BenchmarkPipelineCycles(b *testing.B) {
 	bench, _ := workload.ByName("parser")
-	src, mem := bench.Build(workload.InputA)
+	src, mem := bench.Build(workload.InputA, workload.DefaultScale)
 	p := compiler.MustCompile(src, compiler.WishJumpJoinLoop)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -220,7 +213,7 @@ func BenchmarkCacheHierarchy(b *testing.B) {
 
 func BenchmarkCompile(b *testing.B) {
 	bench, _ := workload.ByName("crafty")
-	src, _ := bench.Build(workload.InputA)
+	src, _ := bench.Build(workload.InputA, workload.DefaultScale)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := compiler.Compile(src, compiler.WishJumpJoinLoop); err != nil {

@@ -1,10 +1,17 @@
 // Command wishbench regenerates the paper's tables and figures.
 //
+// Simulations fan out across a worker pool (-j) and are persisted in a
+// content-addressed result store (-cache-dir), so re-running a
+// campaign only simulates what changed. Output tables are
+// byte-identical regardless of parallelism.
+//
 // Usage:
 //
-//	wishbench -exp all            # every experiment, paper order
-//	wishbench -exp fig10,fig12    # specific experiments
-//	wishbench -list               # list experiment IDs
+//	wishbench -exp all                # every experiment, paper order
+//	wishbench -exp fig10,fig12        # specific experiments
+//	wishbench -exp all -j 8           # eight simulation workers
+//	wishbench -exp all -cache-dir ""  # no persistent result store
+//	wishbench -list                   # list experiment IDs
 //	wishbench -scale 2.0 -exp fig2
 package main
 
@@ -12,19 +19,22 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 	"time"
 
 	"wishbranch/internal/exp"
-	"wishbranch/internal/workload"
+	"wishbranch/internal/lab"
 )
 
 func main() {
 	var (
-		expFlag = flag.String("exp", "all", "comma-separated experiment IDs, or 'all'")
-		list    = flag.Bool("list", false, "list experiment IDs and exit")
-		scale   = flag.Float64("scale", 1.0, "workload size multiplier (1.0 = reduced-input default)")
-		verbose = flag.Bool("v", false, "log each fresh simulation to stderr")
+		expFlag  = flag.String("exp", "all", "comma-separated experiment IDs, or 'all'")
+		list     = flag.Bool("list", false, "list experiment IDs and exit")
+		scale    = flag.Float64("scale", 1.0, "workload size multiplier (1.0 = reduced-input default)")
+		workers  = flag.Int("j", runtime.NumCPU(), "max concurrent simulations")
+		cacheDir = flag.String("cache-dir", lab.DefaultDir(), "persistent result store directory (empty = disabled)")
+		verbose  = flag.Bool("v", false, "log each simulation to stderr")
 	)
 	flag.Parse()
 
@@ -34,11 +44,20 @@ func main() {
 		}
 		return
 	}
-	workload.Scale = *scale
 
-	lab := exp.NewLab()
+	l := exp.NewLab()
+	l.Scale = *scale
+	l.Sched.Workers = *workers
 	if *verbose {
-		lab.Log = os.Stderr
+		l.Sched.Log = os.Stderr
+	}
+	if *cacheDir != "" {
+		store, err := lab.OpenStore(*cacheDir)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "wishbench: %v (continuing without store)\n", err)
+		} else {
+			l.Sched.Store = store
+		}
 	}
 
 	var runIDs []string
@@ -47,18 +66,41 @@ func main() {
 	} else {
 		runIDs = strings.Split(*expFlag, ",")
 	}
+	var exps []exp.Experiment
 	for _, id := range runIDs {
 		e, ok := exp.ByID(strings.TrimSpace(id))
 		if !ok {
 			fmt.Fprintf(os.Stderr, "wishbench: unknown experiment %q (try -list)\n", id)
 			os.Exit(1)
 		}
+		exps = append(exps, e)
+	}
+
+	campaignStart := time.Now()
+	// Batch the whole campaign: the union of every selected
+	// experiment's declared run-set goes through the pool at once, so
+	// runs shared between figures are simulated exactly once and the
+	// pool never drains between figures.
+	var specs []lab.Spec
+	for _, e := range exps {
+		if e.Runs != nil {
+			specs = append(specs, e.Runs(l)...)
+		}
+	}
+	l.Warm(specs)
+
+	for _, e := range exps {
 		start := time.Now()
 		fmt.Printf("==== %s: %s ====\n", e.ID, e.Title)
-		if err := e.Run(lab, os.Stdout); err != nil {
+		if err := exp.Run(e, l, os.Stdout); err != nil {
 			fmt.Fprintf(os.Stderr, "wishbench: %s: %v\n", e.ID, err)
 			os.Exit(1)
 		}
-		fmt.Printf("(%s completed in %v)\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+		fmt.Println()
+		// Timing is not deterministic, so it goes to stderr: stdout
+		// stays byte-identical across runs and worker counts.
+		fmt.Fprintf(os.Stderr, "wishbench: %s completed in %v\n", e.ID, time.Since(start).Round(time.Millisecond))
 	}
+	fmt.Fprintf(os.Stderr, "wishbench: campaign done in %v: %s\n",
+		time.Since(campaignStart).Round(time.Millisecond), l.Sched.Summary())
 }

@@ -1,5 +1,7 @@
 // Command wishsim runs one simulation and prints its statistics:
 // a single (benchmark, input, binary variant, machine) combination.
+// Results are served from the persistent result store when available
+// (-cache-dir; empty disables).
 //
 // Usage:
 //
@@ -12,10 +14,12 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"wishbranch/internal/compiler"
 	"wishbranch/internal/config"
 	"wishbranch/internal/cpu"
+	"wishbranch/internal/lab"
 	"wishbranch/internal/workload"
 )
 
@@ -32,48 +36,30 @@ func main() {
 		noDep    = flag.Bool("no-depend", false, "oracle: remove predicate dependencies (NO-DEPEND)")
 		noFetch  = flag.Bool("no-fetch", false, "oracle: remove predicated-false µops (NO-FETCH)")
 		scale    = flag.Float64("scale", 1.0, "workload size multiplier")
+		cacheDir = flag.String("cache-dir", lab.DefaultDir(), "persistent result store directory (empty = disabled)")
 		disasm   = flag.Bool("disasm", false, "print the compiled binary and exit")
 	)
 	flag.Parse()
-	workload.Scale = *scale
 
 	b, ok := workload.ByName(*bench)
 	if !ok {
 		fail("unknown benchmark %q", *bench)
 	}
-	var in workload.Input
-	switch *input {
-	case "A", "a":
-		in = workload.InputA
-	case "B", "b":
-		in = workload.InputB
-	case "C", "c":
-		in = workload.InputC
-	default:
-		fail("unknown input %q", *input)
+	in, err := parseInput(*input)
+	if err != nil {
+		fail("%v", err)
 	}
-	var v compiler.Variant
-	switch *variant {
-	case "normal":
-		v = compiler.NormalBranch
-	case "base-def":
-		v = compiler.BaseDef
-	case "base-max":
-		v = compiler.BaseMax
-	case "wish-jj":
-		v = compiler.WishJumpJoin
-	case "wish-jjl":
-		v = compiler.WishJumpJoinLoop
-	default:
-		fail("unknown variant %q", *variant)
+	v, err := parseVariant(*variant)
+	if err != nil {
+		fail("%v", err)
 	}
 
-	src, mem := b.Build(in)
-	p, err := compiler.Compile(src, v)
-	if err != nil {
-		fail("compile: %v", err)
-	}
 	if *disasm {
+		src, _ := b.Build(in, *scale)
+		p, err := compiler.Compile(src, v)
+		if err != nil {
+			fail("compile: %v", err)
+		}
 		fmt.Print(p.Disassemble())
 		return
 	}
@@ -87,15 +73,59 @@ func main() {
 	m.NoPredDepend = *noDep
 	m.NoFalseFetch = *noFetch
 
-	c, err := cpu.New(m, p, mem)
-	if err != nil {
-		fail("cpu: %v", err)
+	l := lab.New()
+	if *cacheDir != "" {
+		store, serr := lab.OpenStore(*cacheDir)
+		if serr != nil {
+			fmt.Fprintf(os.Stderr, "wishsim: %v (continuing without store)\n", serr)
+		} else {
+			l.Store = store
+		}
 	}
-	res, err := c.Run(0)
+	spec := lab.Spec{
+		Bench:      *bench,
+		Input:      in,
+		Variant:    v,
+		Machine:    m,
+		Scale:      *scale,
+		Thresholds: compiler.DefaultThresholds(),
+	}
+	res, err := l.Result(spec)
 	if err != nil {
 		fail("run: %v", err)
 	}
 	printResult(*bench, in, v, res)
+	if c := l.Counters(); c.DiskHits > 0 {
+		fmt.Printf("  (served from result store %s)\n", *cacheDir)
+	}
+}
+
+func parseInput(s string) (workload.Input, error) {
+	switch s {
+	case "A", "a":
+		return workload.InputA, nil
+	case "B", "b":
+		return workload.InputB, nil
+	case "C", "c":
+		return workload.InputC, nil
+	}
+	return 0, fmt.Errorf("unknown input %q", s)
+}
+
+func parseVariant(s string) (compiler.Variant, error) {
+	switch s {
+	case "normal":
+		return compiler.NormalBranch, nil
+	case "base-def":
+		return compiler.BaseDef, nil
+	case "base-max":
+		return compiler.BaseMax, nil
+	case "wish-jj":
+		return compiler.WishJumpJoin, nil
+	case "wish-jjl":
+		return compiler.WishJumpJoinLoop, nil
+	}
+	return 0, fmt.Errorf("unknown variant %q", s)
 }
 
 func printResult(bench string, in workload.Input, v compiler.Variant, r *cpu.Result) {
@@ -129,6 +159,10 @@ func printResult(bench string, in workload.Input, v compiler.Variant, r *cpu.Res
 	}
 	fmt.Printf("  L1I %5.2f%%  L1D %5.2f%%  L2 %5.2f%% miss  (%d memory accesses)\n",
 		100*r.L1I.MissRate(), 100*r.L1D.MissRate(), 100*r.L2.MissRate(), r.Mem.Accesses)
+	if r.WallNanos > 0 {
+		fmt.Printf("  simulated in %v (%.0f µops/s host throughput)\n",
+			time.Duration(r.WallNanos).Round(time.Millisecond), r.SimUopsPerSec())
+	}
 }
 
 func fail(format string, args ...interface{}) {

@@ -33,7 +33,6 @@ func main() {
 		dump      = flag.Int("dump", 0, "print the first N events of the trace file given as the last argument")
 	)
 	flag.Parse()
-	workload.Scale = *scale
 
 	if *summarize != "" {
 		f, err := os.Open(*summarize)
@@ -105,7 +104,7 @@ func main() {
 		fail("unknown variant %q", *variant)
 	}
 
-	src, mem := b.Build(in)
+	src, mem := b.Build(in, *scale)
 	p, err := compiler.Compile(src, v)
 	if err != nil {
 		fail("compile: %v", err)

@@ -7,9 +7,15 @@ import (
 	"wishbranch/internal/prog"
 )
 
-// Compile lowers src into the requested binary variant. A HALT is
-// appended after the body.
-func Compile(src *Source, v Variant) (p *prog.Program, err error) {
+// Compile lowers src into the requested binary variant with the
+// paper's default conversion thresholds. A HALT is appended after the
+// body.
+func Compile(src *Source, v Variant) (*prog.Program, error) {
+	return CompileOpt(src, v, DefaultThresholds())
+}
+
+// CompileOpt is Compile with explicit §4.2.2 conversion thresholds.
+func CompileOpt(src *Source, v Variant, thr Thresholds) (p *prog.Program, err error) {
 	if v < 0 || v >= NumVariants {
 		return nil, fmt.Errorf("compiler: unknown variant %d", int(v))
 	}
@@ -22,7 +28,7 @@ func Compile(src *Source, v Variant) (p *prog.Program, err error) {
 			panic(r)
 		}
 	}()
-	l := &lowerer{b: prog.NewBuilder(), v: v}
+	l := &lowerer{b: prog.NewBuilder(), v: v, thr: thr}
 	for pr := isa.PReg(isa.NumPredRegs - 1); pr >= 1; pr-- {
 		l.free = append(l.free, pr)
 	}
@@ -70,6 +76,7 @@ func fail(format string, args ...interface{}) {
 type lowerer struct {
 	b      *prog.Builder
 	v      Variant
+	thr    Thresholds
 	labelN int
 	free   []isa.PReg
 }
@@ -232,7 +239,7 @@ func (l *lowerer) ifNode(t If, g isa.PReg) {
 	case BaseMax:
 		l.ifPredicated(t, g)
 	case WishJumpJoin, WishJumpJoinLoop:
-		if wishWins(t) {
+		if wishWins(t, l.thr) {
 			l.ifWish(t)
 		} else {
 			l.ifPredicated(t, g)

@@ -13,9 +13,8 @@ const (
 )
 
 // The §4.2.2 conversion thresholds. The paper sets N=5 and L=30 and
-// notes it did not tune them; they are exported so the extension
-// experiments (cmd/wishbench -exp ext-thresholds) can sweep them.
-var (
+// notes it did not tune them.
+const (
 	// WishJumpThreshold is N: a hammock whose fall-through block has
 	// more than N instructions becomes a wish jump/join; smaller
 	// hammocks are predicated outright.
@@ -24,6 +23,22 @@ var (
 	// become wish loops.
 	WishLoopThreshold = 30
 )
+
+// Thresholds carries the §4.2.2 conversion thresholds through a
+// compilation, so sweeps (cmd/wishbench -exp ext-thresholds) can vary
+// them per binary without mutating shared state — compilations with
+// different thresholds may run concurrently.
+type Thresholds struct {
+	// WishJump is N (see WishJumpThreshold).
+	WishJump int
+	// WishLoop is L (see WishLoopThreshold).
+	WishLoop int
+}
+
+// DefaultThresholds returns the paper's untuned N=5/L=30.
+func DefaultThresholds() Thresholds {
+	return Thresholds{WishJump: WishJumpThreshold, WishLoop: WishLoopThreshold}
+}
 
 // blockTime estimates the execution time of n straight-line µops.
 func blockTime(n int) float64 {
@@ -65,12 +80,12 @@ func predicationWins(t If) bool {
 // to a wish jump/join when the fall-through block is larger than N
 // (very short hammocks are better off predicated, since a wish branch
 // costs at least one extra instruction).
-func wishWins(t If) bool {
+func wishWins(t If, thr Thresholds) bool {
 	fallthru := NumInsts(t.Else)
 	if len(t.Else) == 0 {
 		fallthru = NumInsts(t.Then)
 	}
-	return fallthru > WishJumpThreshold
+	return fallthru > thr.WishJump
 }
 
 // wishLoopWins applies the §4.2.2 loop heuristic: convert a backward
@@ -82,10 +97,10 @@ func (l *lowerer) wishLoopWins(body []Node, noConvert bool) bool {
 	if l.v != WishJumpJoinLoop || noConvert {
 		return false
 	}
-	if containsLoop(body) || containsCall(body) || containsWishIf(body) {
+	if containsLoop(body) || containsCall(body) || containsWishIf(body, l.thr) {
 		return false
 	}
-	return NumInsts(body) < WishLoopThreshold
+	return NumInsts(body) < l.thr.WishLoop
 }
 
 // containsWishIf reports whether the subtree holds a hammock that the
@@ -93,13 +108,13 @@ func (l *lowerer) wishLoopWins(body []Node, noConvert bool) bool {
 // priority over loop conversion: a wish loop's body must be fully
 // predicated (no wish branches inside the loop), keeping the no-exit
 // recovery of §3.5.4 simple.
-func containsWishIf(nodes []Node) bool {
+func containsWishIf(nodes []Node, thr Thresholds) bool {
 	for _, nd := range nodes {
 		if t, ok := nd.(If); ok {
-			if !t.NoConvert && wishWins(t) {
+			if !t.NoConvert && wishWins(t, thr) {
 				return true
 			}
-			if containsWishIf(t.Then) || containsWishIf(t.Else) {
+			if containsWishIf(t.Then, thr) || containsWishIf(t.Else, thr) {
 				return true
 			}
 		}

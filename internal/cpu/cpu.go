@@ -18,6 +18,7 @@ package cpu
 
 import (
 	"fmt"
+	"time"
 
 	"wishbranch/internal/bpred"
 	"wishbranch/internal/cache"
@@ -150,9 +151,11 @@ func (c *CPU) Run(maxCycles uint64) (*Result, error) {
 	if maxCycles == 0 {
 		maxCycles = 1 << 40
 	}
+	start := time.Now()
 	for !c.res.Halted {
 		if c.cycle >= maxCycles {
 			c.collectCacheStats()
+			c.res.WallNanos = time.Since(start).Nanoseconds()
 			return &c.res, fmt.Errorf("cpu: cycle limit %d reached (pc=%d, retired=%d)",
 				maxCycles, c.st.PC, c.res.RetiredUops)
 		}
@@ -165,6 +168,7 @@ func (c *CPU) Run(maxCycles uint64) (*Result, error) {
 	}
 	c.res.Cycles = c.cycle
 	c.collectCacheStats()
+	c.res.WallNanos = time.Since(start).Nanoseconds()
 	return &c.res, nil
 }
 

@@ -19,9 +19,6 @@ import (
 // program µops as the functional path (low-confidence wish execution
 // adds NOP iterations; it never skips work).
 func TestPipelineArchitecturalEquivalence(t *testing.T) {
-	old := workload.Scale
-	workload.Scale = 0.1
-	defer func() { workload.Scale = old }()
 
 	cfgs := map[string]*config.Machine{
 		"baseline":   config.DefaultMachine(),
@@ -29,7 +26,7 @@ func TestPipelineArchitecturalEquivalence(t *testing.T) {
 		"small":      config.DefaultMachine().WithWindow(128).WithDepth(10),
 	}
 	for _, b := range workload.All() {
-		src, mem := b.Build(workload.InputA)
+		src, mem := b.Build(workload.InputA, 0.1)
 		for _, v := range compiler.Variants() {
 			p, err := compiler.Compile(src, v)
 			if err != nil {
@@ -79,14 +76,11 @@ func TestPipelineArchitecturalEquivalence(t *testing.T) {
 // TestPerfectBPNoFlushes: under the PERFECT-CBP oracle the pipeline
 // must never flush.
 func TestPerfectBPNoFlushes(t *testing.T) {
-	old := workload.Scale
-	workload.Scale = 0.1
-	defer func() { workload.Scale = old }()
 
 	cfg := config.DefaultMachine()
 	cfg.PerfectBP = true
 	for _, b := range workload.All() {
-		src, mem := b.Build(workload.InputA)
+		src, mem := b.Build(workload.InputA, 0.1)
 		p := compiler.MustCompile(src, compiler.NormalBranch)
 		c, err := New(cfg, p, mem)
 		if err != nil {
@@ -108,13 +102,10 @@ func TestPerfectBPNoFlushes(t *testing.T) {
 // TestOraclesOnlyImprove: each Figure 2 oracle must not slow the
 // predicated binary down.
 func TestOraclesOnlyImprove(t *testing.T) {
-	old := workload.Scale
-	workload.Scale = 0.1
-	defer func() { workload.Scale = old }()
 
 	for _, name := range []string{"mcf", "vpr", "gzip"} {
 		b, _ := workload.ByName(name)
-		src, mem := b.Build(workload.InputA)
+		src, mem := b.Build(workload.InputA, 0.1)
 		p := compiler.MustCompile(src, compiler.BaseMax)
 		run := func(noDep, noFetch bool) uint64 {
 			cfg := config.DefaultMachine()

@@ -42,6 +42,12 @@ type Result struct {
 	Mem          cache.Stats
 
 	Halted bool // program ran to completion
+
+	// WallNanos is the host wall-clock time the simulation took, in
+	// nanoseconds. It is a measurement of the simulator, not of the
+	// simulated machine: deterministic outputs (tables, figures) must
+	// not depend on it.
+	WallNanos int64
 }
 
 // UPC returns retired µops per cycle.
@@ -73,4 +79,13 @@ func (r *Result) WishPer1M(count uint64) float64 {
 		return 0
 	}
 	return 1e6 * float64(count) / float64(r.RetiredUops)
+}
+
+// SimUopsPerSec returns the simulator's host-side throughput: retired
+// µops per wall-clock second. Zero if the run was not timed.
+func (r *Result) SimUopsPerSec() float64 {
+	if r.WallNanos <= 0 {
+		return 0
+	}
+	return float64(r.RetiredUops) / (float64(r.WallNanos) / 1e9)
 }

@@ -1,0 +1,42 @@
+package exp
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestOutputDeterministicAcrossWorkerCounts is the regression test for
+// the lab's core contract: rendered tables are byte-identical no
+// matter how many workers the campaign fans out across, because
+// parallelism is confined to Warm and rendering is a serial pass over
+// the memo table.
+func TestOutputDeterministicAcrossWorkerCounts(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy")
+	}
+	// A small campaign that still exercises multi-machine fan-out
+	// (fig2's oracle machines) and multi-variant tables (table5).
+	ids := []string{"fig2", "table5"}
+
+	render := func(workers int) []byte {
+		l := testLab(0.05)
+		l.Sched.Workers = workers
+		var buf bytes.Buffer
+		for _, id := range ids {
+			e, ok := ByID(id)
+			if !ok {
+				t.Fatalf("missing %s", id)
+			}
+			if err := Run(e, l, &buf); err != nil {
+				t.Fatalf("%s with %d workers: %v", id, workers, err)
+			}
+		}
+		return buf.Bytes()
+	}
+
+	serial := render(1)
+	parallel := render(8)
+	if !bytes.Equal(serial, parallel) {
+		t.Errorf("output differs between -j1 and -j8:\n--- j1 ---\n%s\n--- j8 ---\n%s", serial, parallel)
+	}
+}

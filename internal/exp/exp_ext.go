@@ -19,6 +19,7 @@ import (
 // avgJJL returns the average normalized execution time of the wish
 // jump/join/loop binary under machine m (AVG and AVGnomcf).
 func avgJJL(l *Lab, m *config.Machine) (avg, avgNoMcf float64, err error) {
+	l.Warm(avgJJLSpecs(l, m))
 	var all, nomcf []float64
 	for _, bench := range BenchNames() {
 		n, err := l.Norm(bench, workload.InputA, compiler.WishJumpJoinLoop, m, m)
@@ -41,16 +42,7 @@ func ExtLoopPredictor(l *Lab, w io.Writer) error {
 	t := stats.NewTable(
 		"Wish jump/join/loop binary with a trip-count loop predictor (normalized to normal binary)",
 		"loop predictor", "AVG", "AVGnomcf", "late-exit/1M (parser)", "early-exit/1M (parser)")
-	for _, cfg := range []struct {
-		name string
-		on   bool
-		bias int
-	}{
-		{"off (hybrid only)", false, 0},
-		{"on, bias 0", true, 0},
-		{"on, bias +1", true, 1},
-		{"on, bias +2", true, 2},
-	} {
+	for _, cfg := range loopPredConfigs {
 		m := config.DefaultMachine()
 		m.UseLoopPredictor = cfg.on
 		m.LoopPredictorBias = cfg.bias
@@ -79,18 +71,7 @@ func ExtConfidence(l *Lab, w io.Writer) error {
 	t := stats.NewTable(
 		"Wish jump/join/loop binary vs confidence estimator configuration",
 		"JRS config", "AVG", "AVGnomcf")
-	for _, cfg := range []struct {
-		name    string
-		thr     int
-		history int
-	}{
-		{"threshold 2, PC-indexed", 2, 0},
-		{"threshold 4, PC-indexed", 4, 0},
-		{"threshold 8, PC-indexed (default)", 8, 0},
-		{"threshold 12, PC-indexed", 12, 0},
-		{"threshold 8, 4-bit history", 8, 4},
-		{"threshold 8, 16-bit history (Table 2 literal)", 8, 16},
-	} {
+	for _, cfg := range jrsConfigs {
 		m := config.DefaultMachine()
 		m.JRS.Threshold = cfg.thr
 		m.JRS.HistoryBits = cfg.history
@@ -119,18 +100,15 @@ func ExtConfidence(l *Lab, w io.Writer) error {
 // N (wish jump fall-through size) and L (wish loop body size), which
 // the paper explicitly left untuned.
 func ExtThresholds(l *Lab, w io.Writer) error {
-	oldN, oldL := compiler.WishJumpThreshold, compiler.WishLoopThreshold
-	defer func() {
-		compiler.WishJumpThreshold, compiler.WishLoopThreshold = oldN, oldL
-	}()
+	old := l.Thresholds
+	defer func() { l.Thresholds = old }()
 
 	t := stats.NewTable(
 		"Wish jump/join/loop binary vs compiler conversion thresholds",
 		"N (jump)", "L (loop)", "AVG", "AVGnomcf")
-	for _, n := range []int{2, 5, 12} {
-		for _, lim := range []int{2, 30} { // L=2 disables loop conversion entirely
-			compiler.WishJumpThreshold = n
-			compiler.WishLoopThreshold = lim
+	for _, n := range extThresholdN {
+		for _, lim := range extThresholdL {
+			l.Thresholds = compiler.Thresholds{WishJump: n, WishLoop: lim}
 			avg, noMcf, err := avgJJL(l, config.DefaultMachine())
 			if err != nil {
 				return err

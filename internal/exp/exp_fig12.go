@@ -18,6 +18,7 @@ import (
 // on input A most prominently — it hurts, and the winner flips with the
 // input set.
 func Fig1(l *Lab, w io.Writer) error {
+	l.Warm(fig1Runs(l))
 	t := stats.NewTable("Execution time of predicated (BASE-MAX) binary normalized to normal binary",
 		"benchmark", "input-A", "input-B", "input-C")
 	m := config.DefaultMachine()
@@ -42,13 +43,8 @@ func Fig1(l *Lab, w io.Writer) error {
 // NO-FETCH), and the normal binary under perfect conditional branch
 // prediction (PERFECT-CBP). Normalized to the normal binary.
 func Fig2(l *Lab, w io.Writer) error {
-	base := config.DefaultMachine()
-	noDep := *base
-	noDep.NoPredDepend = true
-	noFetch := noDep
-	noFetch.NoFalseFetch = true
-	perfect := *base
-	perfect.PerfectBP = true
+	l.Warm(fig2Runs(l))
+	base, noDep, noFetch, perfect := fig2Machines()
 
 	t := stats.NewTable("Execution time normalized to normal binary (input A)",
 		"benchmark", "BASE-MAX", "NO-DEPEND", "NO-DEPEND+NO-FETCH", "PERFECT-CBP")
@@ -60,9 +56,9 @@ func Fig2(l *Lab, w io.Writer) error {
 			m *config.Machine
 		}{
 			{compiler.BaseMax, base},
-			{compiler.BaseMax, &noDep},
-			{compiler.BaseMax, &noFetch},
-			{compiler.NormalBranch, &perfect},
+			{compiler.BaseMax, noDep},
+			{compiler.BaseMax, noFetch},
+			{compiler.NormalBranch, perfect},
 		} {
 			n, err := l.Norm(bench, workload.InputA, run.v, run.m, base)
 			if err != nil {
@@ -85,12 +81,7 @@ func Fig2(l *Lab, w io.Writer) error {
 func Fig10(l *Lab, w io.Writer) error {
 	return mainComparison(l, w,
 		"Execution time normalized to normal binary (input A)",
-		[]series{
-			{"BASE-DEF", compiler.BaseDef, false},
-			{"BASE-MAX", compiler.BaseMax, false},
-			{"wish-jj (real-conf)", compiler.WishJumpJoin, false},
-			{"wish-jj (perf-conf)", compiler.WishJumpJoin, true},
-		}, config.DefaultMachine())
+		fig10Series, config.DefaultMachine())
 }
 
 // Fig12 reproduces Figure 12: adds wish loops on top of wish
@@ -98,13 +89,7 @@ func Fig10(l *Lab, w io.Writer) error {
 func Fig12(l *Lab, w io.Writer) error {
 	return mainComparison(l, w,
 		"Execution time normalized to normal binary (input A)",
-		[]series{
-			{"BASE-DEF", compiler.BaseDef, false},
-			{"BASE-MAX", compiler.BaseMax, false},
-			{"wish-jj (real-conf)", compiler.WishJumpJoin, false},
-			{"wish-jjl (real-conf)", compiler.WishJumpJoinLoop, false},
-			{"wish-jjl (perf-conf)", compiler.WishJumpJoinLoop, true},
-		}, config.DefaultMachine())
+		fig12Series, config.DefaultMachine())
 }
 
 // Fig16 reproduces Figure 16: the same comparison on a processor that
@@ -113,13 +98,7 @@ func Fig12(l *Lab, w io.Writer) error {
 func Fig16(l *Lab, w io.Writer) error {
 	return mainComparison(l, w,
 		"Execution time normalized to normal binary, select-µop predication (input A)",
-		[]series{
-			{"BASE-DEF", compiler.BaseDef, false},
-			{"BASE-MAX", compiler.BaseMax, false},
-			{"wish-jj (real-conf)", compiler.WishJumpJoin, false},
-			{"wish-jjl (real-conf)", compiler.WishJumpJoinLoop, false},
-			{"wish-jjl (perf-conf)", compiler.WishJumpJoinLoop, true},
-		}, config.DefaultMachine().WithSelectUop())
+		fig12Series, config.DefaultMachine().WithSelectUop())
 }
 
 type series struct {
@@ -129,6 +108,7 @@ type series struct {
 }
 
 func mainComparison(l *Lab, w io.Writer, title string, ss []series, m *config.Machine) error {
+	l.Warm(seriesSpecs(l, ss, m))
 	cols := []string{"benchmark"}
 	for _, s := range ss {
 		cols = append(cols, s.name)
@@ -138,13 +118,7 @@ func mainComparison(l *Lab, w io.Writer, title string, ss []series, m *config.Ma
 	for _, bench := range BenchNames() {
 		var vals []float64
 		for _, s := range ss {
-			mm := m
-			if s.perfect {
-				c := *m
-				c.PerfectConfidence = true
-				mm = &c
-			}
-			n, err := l.Norm(bench, workload.InputA, s.variant, mm, m)
+			n, err := l.Norm(bench, workload.InputA, s.variant, machineFor(s, m), m)
 			if err != nil {
 				return err
 			}

@@ -91,7 +91,7 @@ func Table3(l *Lab, w io.Writer) error {
 	t := stats.NewTable("Static conditional branches (wish branches in parentheses) per binary, input A",
 		"benchmark", "normal", "base-def", "base-max", "wish-jj", "wish-jjl", "µops(jjl)")
 	for _, b := range workload.All() {
-		src, _ := b.Build(workload.InputA)
+		src, _ := b.Build(workload.InputA, l.Scale)
 		row := []string{b.Name}
 		var lastLen int
 		for _, v := range compiler.Variants() {
@@ -113,12 +113,13 @@ func Table3(l *Lab, w io.Writer) error {
 // Table4 reproduces Table 4: dynamic µop counts, branch counts,
 // misprediction rates, and wish branch populations.
 func Table4(l *Lab, w io.Writer) error {
+	l.Warm(table4Runs(l))
 	m := config.DefaultMachine()
 	t := stats.NewTable("Simulated benchmark characteristics (input A, baseline machine)",
 		"benchmark", "dyn µops", "static br", "dyn br", "mispred/1Kµops",
 		"static wish (%loop)", "dyn wish (%loop)")
 	for _, b := range workload.All() {
-		src, _ := b.Build(workload.InputA)
+		src, _ := b.Build(workload.InputA, l.Scale)
 		normal, err := compiler.Compile(src, compiler.NormalBranch)
 		if err != nil {
 			return err
@@ -180,6 +181,7 @@ func pctInt(part, whole int) string {
 // benchmark — the last comparison being "unrealistic" in the paper's
 // words, since no compiler can pick the best binary ahead of time.
 func Table5(l *Lab, w io.Writer) error {
+	l.Warm(table5Runs(l))
 	m := config.DefaultMachine()
 	t := stats.NewTable("Execution-time reduction of wish-jjl binary (real confidence, input A)",
 		"benchmark", "vs normal", "vs best predicated", "vs best non-wish", "best binary")

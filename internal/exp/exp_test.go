@@ -10,16 +10,16 @@ import (
 	"wishbranch/internal/workload"
 )
 
-func scaledDown(t *testing.T) {
-	t.Helper()
-	old := workload.Scale
-	workload.Scale = 0.05
-	t.Cleanup(func() { workload.Scale = old })
+// testLab returns a lab running the workloads at a reduced scale so
+// the suite stays fast.
+func testLab(scale float64) *Lab {
+	l := NewLab()
+	l.Scale = scale
+	return l
 }
 
 func TestLabCachesResults(t *testing.T) {
-	scaledDown(t)
-	l := NewLab()
+	l := testLab(0.05)
 	m := config.DefaultMachine()
 	r1, err := l.Result("gzip", workload.InputA, compiler.NormalBranch, m)
 	if err != nil {
@@ -51,8 +51,7 @@ func TestLabUnknownBenchmark(t *testing.T) {
 }
 
 func TestNormIsRelative(t *testing.T) {
-	scaledDown(t)
-	l := NewLab()
+	l := testLab(0.05)
 	m := config.DefaultMachine()
 	n, err := l.Norm("parser", workload.InputA, compiler.NormalBranch, m, m)
 	if err != nil {
@@ -85,8 +84,7 @@ func TestFastExperimentsProduceOutput(t *testing.T) {
 	if testing.Short() {
 		t.Skip("simulation-heavy")
 	}
-	scaledDown(t)
-	l := NewLab()
+	l := testLab(0.05)
 	for _, id := range []string{"table1", "table2", "table3", "fig2", "fig11", "fig13", "table5"} {
 		e, ok := ByID(id)
 		if !ok {
@@ -126,8 +124,7 @@ func TestFig2OrderingHolds(t *testing.T) {
 	if testing.Short() {
 		t.Skip("simulation-heavy")
 	}
-	scaledDown(t)
-	l := NewLab()
+	l := testLab(0.05)
 	base := config.DefaultMachine()
 	noDep := *base
 	noDep.NoPredDepend = true

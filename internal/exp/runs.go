@@ -1,0 +1,257 @@
+package exp
+
+import (
+	"wishbranch/internal/compiler"
+	"wishbranch/internal/config"
+	"wishbranch/internal/lab"
+	"wishbranch/internal/workload"
+)
+
+// This file declares each experiment's run-set (Experiment.Runs): the
+// full list of simulations the figure or table aggregates. The render
+// functions consume the same lists through the shared helpers below,
+// so declaration and use cannot drift.
+
+// machineFor returns the machine a series runs on: the base machine,
+// or a copy with perfect wish-branch confidence.
+func machineFor(s series, m *config.Machine) *config.Machine {
+	if !s.perfect {
+		return m
+	}
+	c := *m
+	c.PerfectConfidence = true
+	return &c
+}
+
+// seriesSpecs is the run-set of one mainComparison/sweep point: every
+// benchmark under every series machine, plus the normal-branch
+// reference each Norm call divides by.
+func seriesSpecs(l *Lab, ss []series, m *config.Machine) []lab.Spec {
+	var specs []lab.Spec
+	for _, bench := range BenchNames() {
+		specs = append(specs, l.Spec(bench, workload.InputA, compiler.NormalBranch, m))
+		for _, s := range ss {
+			specs = append(specs, l.Spec(bench, workload.InputA, s.variant, machineFor(s, m)))
+		}
+	}
+	return specs
+}
+
+// avgJJLSpecs is the run-set of one avgJJL call.
+func avgJJLSpecs(l *Lab, m *config.Machine) []lab.Spec {
+	var specs []lab.Spec
+	for _, bench := range BenchNames() {
+		specs = append(specs,
+			l.Spec(bench, workload.InputA, compiler.WishJumpJoinLoop, m),
+			l.Spec(bench, workload.InputA, compiler.NormalBranch, m))
+	}
+	return specs
+}
+
+func fig1Runs(l *Lab) []lab.Spec {
+	m := config.DefaultMachine()
+	var specs []lab.Spec
+	for _, bench := range BenchNames() {
+		for _, in := range workload.Inputs() {
+			specs = append(specs,
+				l.Spec(bench, in, compiler.BaseMax, m),
+				l.Spec(bench, in, compiler.NormalBranch, m))
+		}
+	}
+	return specs
+}
+
+// fig2Machines builds the four Figure 2 configurations.
+func fig2Machines() (base, noDep, noFetch, perfect *config.Machine) {
+	base = config.DefaultMachine()
+	nd := *base
+	nd.NoPredDepend = true
+	nf := nd
+	nf.NoFalseFetch = true
+	pf := *base
+	pf.PerfectBP = true
+	return base, &nd, &nf, &pf
+}
+
+func fig2Runs(l *Lab) []lab.Spec {
+	base, noDep, noFetch, perfect := fig2Machines()
+	var specs []lab.Spec
+	for _, bench := range BenchNames() {
+		specs = append(specs,
+			l.Spec(bench, workload.InputA, compiler.NormalBranch, base),
+			l.Spec(bench, workload.InputA, compiler.BaseMax, base),
+			l.Spec(bench, workload.InputA, compiler.BaseMax, noDep),
+			l.Spec(bench, workload.InputA, compiler.BaseMax, noFetch),
+			l.Spec(bench, workload.InputA, compiler.NormalBranch, perfect))
+	}
+	return specs
+}
+
+func table4Runs(l *Lab) []lab.Spec {
+	m := config.DefaultMachine()
+	var specs []lab.Spec
+	for _, bench := range BenchNames() {
+		specs = append(specs,
+			l.Spec(bench, workload.InputA, compiler.NormalBranch, m),
+			l.Spec(bench, workload.InputA, compiler.WishJumpJoinLoop, m))
+	}
+	return specs
+}
+
+// The series of the main-comparison figures (10, 12, 16) and the
+// sensitivity sweeps (14, 15).
+var (
+	fig10Series = []series{
+		{"BASE-DEF", compiler.BaseDef, false},
+		{"BASE-MAX", compiler.BaseMax, false},
+		{"wish-jj (real-conf)", compiler.WishJumpJoin, false},
+		{"wish-jj (perf-conf)", compiler.WishJumpJoin, true},
+	}
+	fig12Series = []series{
+		{"BASE-DEF", compiler.BaseDef, false},
+		{"BASE-MAX", compiler.BaseMax, false},
+		{"wish-jj (real-conf)", compiler.WishJumpJoin, false},
+		{"wish-jjl (real-conf)", compiler.WishJumpJoinLoop, false},
+		{"wish-jjl (perf-conf)", compiler.WishJumpJoinLoop, true},
+	}
+	sweepSeries = []series{
+		{"BASE-DEF", compiler.BaseDef, false},
+		{"BASE-MAX", compiler.BaseMax, false},
+		{"wish-jjl (real-conf)", compiler.WishJumpJoinLoop, false},
+		{"wish-jjl (perf-conf)", compiler.WishJumpJoinLoop, true},
+	}
+)
+
+func fig10Runs(l *Lab) []lab.Spec {
+	return seriesSpecs(l, fig10Series, config.DefaultMachine())
+}
+
+func fig11Runs(l *Lab) []lab.Spec {
+	m := config.DefaultMachine()
+	var specs []lab.Spec
+	for _, bench := range BenchNames() {
+		specs = append(specs, l.Spec(bench, workload.InputA, compiler.WishJumpJoin, m))
+	}
+	return specs
+}
+
+func fig12Runs(l *Lab) []lab.Spec {
+	return seriesSpecs(l, fig12Series, config.DefaultMachine())
+}
+
+func fig13Runs(l *Lab) []lab.Spec {
+	m := config.DefaultMachine()
+	var specs []lab.Spec
+	for _, bench := range BenchNames() {
+		specs = append(specs, l.Spec(bench, workload.InputA, compiler.WishJumpJoinLoop, m))
+	}
+	return specs
+}
+
+func table5Runs(l *Lab) []lab.Spec {
+	m := config.DefaultMachine()
+	var specs []lab.Spec
+	for _, bench := range BenchNames() {
+		for _, v := range []compiler.Variant{
+			compiler.NormalBranch, compiler.BaseDef, compiler.BaseMax, compiler.WishJumpJoinLoop,
+		} {
+			specs = append(specs, l.Spec(bench, workload.InputA, v, m))
+		}
+	}
+	return specs
+}
+
+func fig14Runs(l *Lab) []lab.Spec {
+	base := config.DefaultMachine()
+	var specs []lab.Spec
+	for _, rob := range []int{128, 256, 512} {
+		specs = append(specs, seriesSpecs(l, sweepSeries, base.WithWindow(rob))...)
+	}
+	return specs
+}
+
+func fig15Runs(l *Lab) []lab.Spec {
+	base := config.DefaultMachine().WithWindow(256)
+	var specs []lab.Spec
+	for _, depth := range []int{10, 20, 30} {
+		specs = append(specs, seriesSpecs(l, sweepSeries, base.WithDepth(depth))...)
+	}
+	return specs
+}
+
+func fig16Runs(l *Lab) []lab.Spec {
+	return seriesSpecs(l, fig12Series, config.DefaultMachine().WithSelectUop())
+}
+
+// loopPredConfigs are the ext-loop-pred table rows.
+var loopPredConfigs = []struct {
+	name string
+	on   bool
+	bias int
+}{
+	{"off (hybrid only)", false, 0},
+	{"on, bias 0", true, 0},
+	{"on, bias +1", true, 1},
+	{"on, bias +2", true, 2},
+}
+
+func extLoopPredRuns(l *Lab) []lab.Spec {
+	var specs []lab.Spec
+	for _, cfg := range loopPredConfigs {
+		m := config.DefaultMachine()
+		m.UseLoopPredictor = cfg.on
+		m.LoopPredictorBias = cfg.bias
+		specs = append(specs, avgJJLSpecs(l, m)...)
+	}
+	return specs
+}
+
+// jrsConfigs are the ext-confidence table rows.
+var jrsConfigs = []struct {
+	name    string
+	thr     int
+	history int
+}{
+	{"threshold 2, PC-indexed", 2, 0},
+	{"threshold 4, PC-indexed", 4, 0},
+	{"threshold 8, PC-indexed (default)", 8, 0},
+	{"threshold 12, PC-indexed", 12, 0},
+	{"threshold 8, 4-bit history", 8, 4},
+	{"threshold 8, 16-bit history (Table 2 literal)", 8, 16},
+}
+
+func extConfidenceRuns(l *Lab) []lab.Spec {
+	var specs []lab.Spec
+	for _, cfg := range jrsConfigs {
+		m := config.DefaultMachine()
+		m.JRS.Threshold = cfg.thr
+		m.JRS.HistoryBits = cfg.history
+		specs = append(specs, avgJJLSpecs(l, m)...)
+	}
+	perfect := config.DefaultMachine()
+	perfect.PerfectConfidence = true
+	return append(specs, avgJJLSpecs(l, perfect)...)
+}
+
+// Threshold sweep points of ext-thresholds (L=2 disables loop
+// conversion entirely).
+var (
+	extThresholdN = []int{2, 5, 12}
+	extThresholdL = []int{2, 30}
+)
+
+func extThresholdRuns(l *Lab) []lab.Spec {
+	m := config.DefaultMachine()
+	var specs []lab.Spec
+	for _, n := range extThresholdN {
+		for _, lim := range extThresholdL {
+			for _, bench := range BenchNames() {
+				s := l.Spec(bench, workload.InputA, compiler.WishJumpJoinLoop, m)
+				s.Thresholds = compiler.Thresholds{WishJump: n, WishLoop: lim}
+				specs = append(specs, s,
+					l.Spec(bench, workload.InputA, compiler.NormalBranch, m))
+			}
+		}
+	}
+	return specs
+}

@@ -16,11 +16,8 @@ func TestBenchmarkSignatures(t *testing.T) {
 	if testing.Short() {
 		t.Skip("simulation-heavy")
 	}
-	old := workload.Scale
-	workload.Scale = 0.3
-	t.Cleanup(func() { workload.Scale = old })
-
 	l := NewLab()
+	l.Scale = 0.3
 	m := config.DefaultMachine()
 	norm := func(bench string, v compiler.Variant) float64 {
 		t.Helper()

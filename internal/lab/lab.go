@@ -1,0 +1,205 @@
+package lab
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"sync"
+	"time"
+
+	"wishbranch/internal/cpu"
+)
+
+// Lab is the campaign scheduler: a singleflight, in-memory memo table
+// in front of an optional persistent Store, with a bounded worker pool
+// for batch warm-up. The zero value is not usable; call New.
+//
+// Result and Warm are safe for concurrent use. Configure Workers,
+// Store, and Log before the first run.
+type Lab struct {
+	// Workers bounds concurrent simulations in Warm (<= 0 means
+	// runtime.NumCPU()).
+	Workers int
+	// Store, when non-nil, persists results across processes.
+	Store *Store
+	// Log, when non-nil, receives one progress line per completed
+	// fresh simulation or store hit.
+	Log io.Writer
+
+	mu      sync.Mutex
+	entries map[string]*entry
+	c       Counters
+	started time.Time
+}
+
+type entry struct {
+	done chan struct{}
+	res  *cpu.Result
+	err  error
+}
+
+// Counters snapshots the campaign's progress.
+type Counters struct {
+	// Fresh counts simulations actually executed by this process.
+	Fresh uint64
+	// DiskHits counts results served from the persistent store.
+	DiskHits uint64
+	// MemHits counts repeat requests served from the in-memory table.
+	MemHits uint64
+	// Errors counts specs whose simulation failed.
+	Errors uint64
+}
+
+// Runs returns all completed acquisitions (fresh + disk hits).
+func (c Counters) Runs() uint64 { return c.Fresh + c.DiskHits }
+
+// New returns an empty lab with default parallelism and no store.
+func New() *Lab {
+	return &Lab{entries: make(map[string]*entry)}
+}
+
+func (l *Lab) workers() int {
+	if l.Workers > 0 {
+		return l.Workers
+	}
+	return runtime.NumCPU()
+}
+
+// Counters returns a snapshot of the progress counters.
+func (l *Lab) Counters() Counters {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.c
+}
+
+// Result returns the simulation result for spec, from the in-memory
+// table, the persistent store, or a fresh simulation — in that order.
+// Concurrent requests for the same key share one simulation.
+func (l *Lab) Result(s Spec) (*cpu.Result, error) {
+	key := s.Key()
+	l.mu.Lock()
+	if l.entries == nil {
+		l.entries = make(map[string]*entry)
+	}
+	if e, ok := l.entries[key]; ok {
+		l.c.MemHits++
+		l.mu.Unlock()
+		<-e.done
+		return e.res, e.err
+	}
+	e := &entry{done: make(chan struct{})}
+	l.entries[key] = e
+	if l.started.IsZero() {
+		l.started = time.Now()
+	}
+	l.mu.Unlock()
+
+	e.res, e.err = l.produce(s, key)
+	close(e.done)
+	return e.res, e.err
+}
+
+// produce fills one entry: store lookup, then simulation (persisting
+// the fresh result). Store write failures are reported on Log but do
+// not fail the run — the result is still returned.
+func (l *Lab) produce(s Spec, key string) (*cpu.Result, error) {
+	if l.Store != nil {
+		if r := l.Store.Get(key); r != nil {
+			l.note(s, r, &l.c.DiskHits, "hit")
+			return r, nil
+		}
+	}
+	res, err := s.Simulate()
+	if err != nil {
+		l.mu.Lock()
+		l.c.Errors++
+		l.mu.Unlock()
+		return nil, err
+	}
+	if l.Store != nil {
+		if perr := l.Store.Put(key, res); perr != nil && l.Log != nil {
+			l.mu.Lock()
+			fmt.Fprintf(l.Log, "lab: %v (result kept in memory)\n", perr)
+			l.mu.Unlock()
+		}
+	}
+	l.note(s, res, &l.c.Fresh, "ran")
+	return res, nil
+}
+
+// note bumps a counter and emits one progress line. The counter
+// pointer must be a field of l.c so the bump happens under l.mu.
+func (l *Lab) note(s Spec, r *cpu.Result, counter *uint64, verb string) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	*counter++
+	if l.Log == nil {
+		return
+	}
+	c := l.c
+	elapsed := time.Since(l.started).Seconds()
+	rate := 0.0
+	if elapsed > 0 {
+		rate = float64(c.Runs()) / elapsed
+	}
+	fmt.Fprintf(l.Log, "[%d runs (%d fresh, %d cached), %.1f sims/s] %s %-40s %10d cycles  %.2f µPC  %s\n",
+		c.Runs(), c.Fresh, c.DiskHits, rate, verb, s.String(), r.Cycles, r.UPC(),
+		time.Duration(r.WallNanos).Round(time.Millisecond))
+}
+
+// Summary renders the campaign counters as one line.
+func (l *Lab) Summary() string {
+	l.mu.Lock()
+	c, started := l.c, l.started
+	l.mu.Unlock()
+	line := fmt.Sprintf("%d fresh simulations, %d store hits, %d memo hits, %d errors",
+		c.Fresh, c.DiskHits, c.MemHits, c.Errors)
+	if !started.IsZero() && c.Fresh > 0 {
+		if secs := time.Since(started).Seconds(); secs > 0 {
+			line += fmt.Sprintf(", %.2f sims/s", float64(c.Fresh)/secs)
+		}
+	}
+	return line
+}
+
+// Warm acquires every spec in the batch, de-duplicated, across the
+// worker pool. Individual simulation failures are recorded (and
+// memoized) but not returned: the serial render pass that follows
+// re-requests the same keys and surfaces the error with full context.
+// Warm returns once every spec has been attempted.
+func (l *Lab) Warm(specs []Spec) {
+	seen := make(map[string]bool, len(specs))
+	uniq := specs[:0:0]
+	for _, s := range specs {
+		if k := s.Key(); !seen[k] {
+			seen[k] = true
+			uniq = append(uniq, s)
+		}
+	}
+	n := l.workers()
+	if n > len(uniq) {
+		n = len(uniq)
+	}
+	if n <= 1 {
+		for _, s := range uniq {
+			l.Result(s) //nolint:errcheck // memoized; re-surfaced by the render pass
+		}
+		return
+	}
+	ch := make(chan Spec)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for s := range ch {
+				l.Result(s) //nolint:errcheck // see above
+			}
+		}()
+	}
+	for _, s := range uniq {
+		ch <- s
+	}
+	close(ch)
+	wg.Wait()
+}

@@ -1,0 +1,167 @@
+package lab
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// cheapSpec is small enough that the scheduler tests stay fast even
+// when they run it several times.
+func cheapSpec() Spec {
+	s := testSpec()
+	s.Scale = 0.02
+	return s
+}
+
+func TestLabMemoizes(t *testing.T) {
+	l := New()
+	r1, err := l.Result(cheapSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := l.Result(cheapSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1 != r2 {
+		t.Error("identical specs were simulated twice")
+	}
+	c := l.Counters()
+	if c.Fresh != 1 || c.MemHits != 1 {
+		t.Errorf("counters = %+v, want 1 fresh + 1 memo hit", c)
+	}
+}
+
+func TestLabWarmDeduplicates(t *testing.T) {
+	l := New()
+	l.Workers = 4
+	s := cheapSpec()
+	l.Warm([]Spec{s, s, s, s, s})
+	if c := l.Counters(); c.Fresh != 1 {
+		t.Errorf("warm of 5 duplicate specs ran %d simulations, want 1", c.Fresh)
+	}
+}
+
+func TestLabErrorsAreMemoizedAndCounted(t *testing.T) {
+	l := New()
+	bad := cheapSpec()
+	bad.Bench = "nosuch"
+	if _, err := l.Result(bad); err == nil {
+		t.Fatal("unknown benchmark accepted")
+	}
+	if _, err := l.Result(bad); err == nil {
+		t.Fatal("memoized error lost")
+	}
+	if c := l.Counters(); c.Errors != 1 {
+		t.Errorf("errors = %d, want the failure counted once", c.Errors)
+	}
+	// Warm must swallow the error (the render pass re-surfaces it).
+	l2 := New()
+	l2.Warm([]Spec{bad})
+	if c := l2.Counters(); c.Errors != 1 {
+		t.Errorf("warm errors = %d, want 1", c.Errors)
+	}
+}
+
+// TestLabWarmStoreServesSecondCampaign is the warm-cache acceptance
+// check: a second lab sharing the store directory performs zero fresh
+// simulations.
+func TestLabWarmStoreServesSecondCampaign(t *testing.T) {
+	dir := t.TempDir()
+	st, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	specs := []Spec{cheapSpec()}
+	{
+		s := cheapSpec()
+		s.Variant = 2 // BaseDef-class variant; any distinct value works
+		specs = append(specs, s)
+	}
+
+	l1 := New()
+	l1.Store = st
+	l1.Workers = 2
+	l1.Warm(specs)
+	if c := l1.Counters(); c.Fresh != uint64(len(specs)) || c.DiskHits != 0 {
+		t.Fatalf("cold campaign counters = %+v, want %d fresh", c, len(specs))
+	}
+
+	st2, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l2 := New()
+	l2.Store = st2
+	l2.Warm(specs)
+	if c := l2.Counters(); c.Fresh != 0 || c.DiskHits != uint64(len(specs)) {
+		t.Errorf("warm campaign counters = %+v, want zero fresh and %d disk hits", c, len(specs))
+	}
+	// And the served results agree with the cold run's.
+	r1, err := l1.Result(specs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := l2.Result(specs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Cycles != r2.Cycles || r1.RetiredUops != r2.RetiredUops {
+		t.Errorf("store round trip changed the result: %d/%d vs %d/%d cycles/µops",
+			r1.Cycles, r1.RetiredUops, r2.Cycles, r2.RetiredUops)
+	}
+}
+
+// TestLabSingleflight: concurrent requests for the same key share one
+// simulation.
+func TestLabSingleflight(t *testing.T) {
+	l := New()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := l.Result(cheapSpec()); err != nil {
+				t.Error(err)
+			}
+		}()
+	}
+	wg.Wait()
+	if c := l.Counters(); c.Fresh != 1 {
+		t.Errorf("%d fresh simulations for one key under concurrency, want 1", c.Fresh)
+	}
+}
+
+func TestLabProgressLog(t *testing.T) {
+	var buf bytes.Buffer
+	l := New()
+	l.Log = &buf
+	if _, err := l.Result(cheapSpec()); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"1 runs (1 fresh, 0 cached)", "sims/s", "ran", "gzip", "cycles"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("progress line missing %q:\n%s", want, out)
+		}
+	}
+	if s := l.Summary(); !strings.Contains(s, "1 fresh simulations") {
+		t.Errorf("summary = %q", s)
+	}
+}
+
+func TestLabResultsCarryWallClock(t *testing.T) {
+	l := New()
+	r, err := l.Result(cheapSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.WallNanos <= 0 {
+		t.Error("fresh result has no wall-clock measurement")
+	}
+	if r.SimUopsPerSec() <= 0 {
+		t.Error("µop throughput not derivable")
+	}
+}

@@ -1,0 +1,195 @@
+// Package lab runs simulation campaigns: batches of (benchmark, input,
+// binary variant, machine) simulations, de-duplicated, fanned out
+// across a bounded worker pool, and memoized both in memory and in a
+// persistent content-addressed result store.
+//
+// The data flow is
+//
+//	Spec (what to simulate)
+//	  → Key (a complete, versioned signature of everything that
+//	         affects simulation behaviour)
+//	  → Lab (singleflight scheduler: memory cache → store → simulate)
+//	  → Store (atomic on-disk records keyed by SHA-256 of the Key)
+//
+// Aggregation stays in the caller: experiments warm their run-set with
+// Lab.Warm (parallel, unordered) and then render tables serially, so
+// output is byte-identical regardless of the worker count.
+package lab
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"reflect"
+	"strconv"
+	"strings"
+
+	"wishbranch/internal/compiler"
+	"wishbranch/internal/config"
+	"wishbranch/internal/cpu"
+	"wishbranch/internal/workload"
+)
+
+// SchemaVersion versions the cache-key schema. Bump it whenever the
+// meaning of a key changes in a way the signature itself cannot
+// capture — e.g. a simulator behaviour fix that alters results for an
+// unchanged configuration. Version 1 was the hand-rolled format-string
+// signature of internal/exp, which silently aliased entries when a
+// config.Machine field was added; version 2 derives the machine
+// signature exhaustively from the struct.
+const SchemaVersion = 2
+
+// Spec fully identifies one simulation. Two Specs with equal Keys
+// produce identical results; everything that affects simulation
+// behaviour must be represented here.
+type Spec struct {
+	Bench   string
+	Input   workload.Input
+	Variant compiler.Variant
+	Machine *config.Machine
+	// Scale is the workload size multiplier (workload.DefaultScale is
+	// the paper's reduced-input size). It is part of the spec — not
+	// shared mutable state — so concurrent runs at different scales
+	// cannot cross-contaminate.
+	Scale float64
+	// Thresholds are the compiler's §4.2.2 conversion thresholds.
+	Thresholds compiler.Thresholds
+	// MaxCycles bounds the simulation (0 = no practical limit). A
+	// truncated run is a different result, so it is part of the key.
+	MaxCycles uint64
+}
+
+// Validate reports an ill-formed spec before it reaches a worker.
+func (s Spec) Validate() error {
+	if _, ok := workload.ByName(s.Bench); !ok {
+		return fmt.Errorf("lab: unknown benchmark %q", s.Bench)
+	}
+	if s.Machine == nil {
+		return fmt.Errorf("lab: %s: nil machine", s.Bench)
+	}
+	if s.Scale <= 0 {
+		return fmt.Errorf("lab: %s: non-positive scale %v (use workload.DefaultScale)", s.Bench, s.Scale)
+	}
+	if s.Thresholds.WishJump <= 0 || s.Thresholds.WishLoop <= 0 {
+		return fmt.Errorf("lab: %s: unset compiler thresholds (use compiler.DefaultThresholds)", s.Bench)
+	}
+	return s.Machine.Validate()
+}
+
+// Key returns the complete, versioned signature of the spec. Equal
+// keys ⇒ identical simulation results.
+func (s Spec) Key() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "v%d|bench=%s|input=%d|variant=%d|scale=%s|maxcycles=%d|N=%d|L=%d|machine=",
+		SchemaVersion, s.Bench, int(s.Input), int(s.Variant),
+		strconv.FormatFloat(s.Scale, 'g', -1, 64), s.MaxCycles,
+		s.Thresholds.WishJump, s.Thresholds.WishLoop)
+	b.WriteString(MachineSig(s.Machine))
+	return b.String()
+}
+
+// Hash returns the SHA-256 of the key, the store's content address.
+func (s Spec) Hash() string {
+	sum := sha256.Sum256([]byte(s.Key()))
+	return hex.EncodeToString(sum[:])
+}
+
+// Simulate builds, compiles, and runs the spec. It is pure: safe to
+// call from any number of goroutines.
+func (s Spec) Simulate() (*cpu.Result, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	b, _ := workload.ByName(s.Bench)
+	src, mem := b.Build(s.Input, s.Scale)
+	p, err := compiler.CompileOpt(src, s.Variant, s.Thresholds)
+	if err != nil {
+		return nil, err
+	}
+	c, err := cpu.New(s.Machine, p, mem)
+	if err != nil {
+		return nil, err
+	}
+	res, err := c.Run(s.MaxCycles)
+	if err != nil {
+		return nil, fmt.Errorf("lab: %s: %w", s.Key(), err)
+	}
+	return res, nil
+}
+
+// String is a short human-readable label for progress lines.
+func (s Spec) String() string {
+	name := "?"
+	if s.Machine != nil {
+		name = s.Machine.Name
+	}
+	return fmt.Sprintf("%s/%v/%v/%s", s.Bench, s.Input, s.Variant, name)
+}
+
+// MachineSig derives an exhaustive signature from a machine
+// configuration by reflecting over every field, recursively. Unlike a
+// hand-rolled format string, a newly added field is automatically part
+// of the signature — it can change the key (a cache miss and a fresh
+// simulation) but never silently alias an existing entry. Fields of
+// kinds the encoder does not understand (maps, funcs, channels, ...)
+// panic, so an incompatible extension of config.Machine fails loudly
+// in any test that touches the lab rather than corrupting the cache.
+func MachineSig(m *config.Machine) string {
+	if m == nil {
+		// An ill-formed spec; Validate rejects it before simulation,
+		// but its key must still be computable (e.g. for error paths).
+		return "nil"
+	}
+	var b strings.Builder
+	encodeValue(&b, reflect.ValueOf(m).Elem())
+	return b.String()
+}
+
+func encodeValue(b *strings.Builder, v reflect.Value) {
+	switch v.Kind() {
+	case reflect.Bool:
+		if v.Bool() {
+			b.WriteString("1")
+		} else {
+			b.WriteString("0")
+		}
+	case reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64:
+		b.WriteString(strconv.FormatInt(v.Int(), 10))
+	case reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64:
+		b.WriteString(strconv.FormatUint(v.Uint(), 10))
+	case reflect.Float32, reflect.Float64:
+		b.WriteString(strconv.FormatFloat(v.Float(), 'g', -1, 64))
+	case reflect.String:
+		b.WriteString(strconv.Quote(v.String()))
+	case reflect.Struct:
+		b.WriteString("{")
+		t := v.Type()
+		for i := 0; i < v.NumField(); i++ {
+			if i > 0 {
+				b.WriteString(";")
+			}
+			b.WriteString(t.Field(i).Name)
+			b.WriteString(":")
+			encodeValue(b, v.Field(i))
+		}
+		b.WriteString("}")
+	case reflect.Slice, reflect.Array:
+		b.WriteString("[")
+		for i := 0; i < v.Len(); i++ {
+			if i > 0 {
+				b.WriteString(",")
+			}
+			encodeValue(b, v.Index(i))
+		}
+		b.WriteString("]")
+	case reflect.Ptr:
+		if v.IsNil() {
+			b.WriteString("nil")
+			return
+		}
+		encodeValue(b, v.Elem())
+	default:
+		panic(fmt.Sprintf("lab: cannot encode %s field of kind %s in a cache key; extend encodeValue",
+			v.Type(), v.Kind()))
+	}
+}

@@ -1,0 +1,119 @@
+package lab
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"wishbranch/internal/cpu"
+)
+
+// Store is a persistent content-addressed result store. Each record is
+// one cpu.Result serialized as JSON under the SHA-256 of its spec key,
+// written atomically (temp file + rename). Corrupt, stale, or
+// foreign-schema records are treated as misses and re-simulated —
+// never an error, never a crash.
+type Store struct {
+	dir string
+}
+
+// record is the on-disk format. The full key is stored alongside the
+// result so a hash collision or a stale schema reads as a miss instead
+// of returning the wrong result.
+type record struct {
+	Schema int         `json:"schema"`
+	Key    string      `json:"key"`
+	Result *cpu.Result `json:"result"`
+}
+
+// DefaultDir returns the default store location,
+// $XDG_CACHE_HOME/wishbranch (~/.cache/wishbranch on most systems).
+func DefaultDir() string {
+	base, err := os.UserCacheDir()
+	if err != nil {
+		return filepath.Join(os.TempDir(), "wishbranch-cache")
+	}
+	return filepath.Join(base, "wishbranch")
+}
+
+// OpenStore creates (if needed) and opens a store rooted at dir.
+func OpenStore(dir string) (*Store, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("lab: empty store directory")
+	}
+	if err := os.MkdirAll(filepath.Join(dir, schemaDirName()), 0o777); err != nil {
+		return nil, fmt.Errorf("lab: open store: %w", err)
+	}
+	return &Store{dir: dir}, nil
+}
+
+// Dir returns the store's root directory.
+func (s *Store) Dir() string { return s.dir }
+
+func schemaDirName() string { return fmt.Sprintf("v%d", SchemaVersion) }
+
+// path shards records by the first byte of the hash to keep directory
+// fan-out sane for large campaigns.
+func (s *Store) path(hash string) string {
+	return filepath.Join(s.dir, schemaDirName(), hash[:2], hash+".json")
+}
+
+// Get looks a key up. It returns nil on any miss: absent, unreadable,
+// corrupt, schema mismatch, or key mismatch (hash collision). The
+// caller just re-simulates.
+func (s *Store) Get(key string) *cpu.Result {
+	hash := hashKey(key)
+	data, err := os.ReadFile(s.path(hash))
+	if err != nil {
+		return nil
+	}
+	var rec record
+	if err := json.Unmarshal(data, &rec); err != nil {
+		return nil
+	}
+	if rec.Schema != SchemaVersion || rec.Key != key || rec.Result == nil {
+		return nil
+	}
+	return rec.Result
+}
+
+// Put stores a result under key, atomically: the record is fully
+// written to a temporary file in the destination directory and then
+// renamed into place, so a concurrent reader (or a crash mid-write)
+// sees either nothing or a complete record.
+func (s *Store) Put(key string, r *cpu.Result) error {
+	hash := hashKey(key)
+	dst := s.path(hash)
+	if err := os.MkdirAll(filepath.Dir(dst), 0o777); err != nil {
+		return fmt.Errorf("lab: store put: %w", err)
+	}
+	data, err := json.Marshal(record{Schema: SchemaVersion, Key: key, Result: r})
+	if err != nil {
+		return fmt.Errorf("lab: store put: %w", err)
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(dst), "."+hash+".tmp-*")
+	if err != nil {
+		return fmt.Errorf("lab: store put: %w", err)
+	}
+	_, werr := tmp.Write(data)
+	cerr := tmp.Close()
+	if werr == nil {
+		werr = cerr
+	}
+	if werr == nil {
+		werr = os.Rename(tmp.Name(), dst)
+	}
+	if werr != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("lab: store put: %w", werr)
+	}
+	return nil
+}
+
+func hashKey(key string) string {
+	sum := sha256.Sum256([]byte(key))
+	return hex.EncodeToString(sum[:])
+}

@@ -1,0 +1,178 @@
+package lab
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"wishbranch/internal/cpu"
+)
+
+func testResult() *cpu.Result {
+	return &cpu.Result{Cycles: 12345, RetiredUops: 6789, WallNanos: 42}
+}
+
+func TestStoreRoundTrip(t *testing.T) {
+	st, err := OpenStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := testSpec().Key()
+	if got := st.Get(key); got != nil {
+		t.Fatal("empty store returned a result")
+	}
+	want := testResult()
+	if err := st.Put(key, want); err != nil {
+		t.Fatal(err)
+	}
+	got := st.Get(key)
+	if got == nil {
+		t.Fatal("stored result not found")
+	}
+	if got.Cycles != want.Cycles || got.RetiredUops != want.RetiredUops {
+		t.Errorf("round trip changed the result: got %+v want %+v", got, want)
+	}
+	if st.Get(key+"x") != nil {
+		t.Error("different key served the same record")
+	}
+}
+
+func TestStoreIgnoresCorruptRecords(t *testing.T) {
+	st, err := OpenStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := testSpec().Key()
+	if err := st.Put(key, testResult()); err != nil {
+		t.Fatal(err)
+	}
+	path := st.path(hashKey(key))
+
+	corruptions := []struct {
+		name string
+		mut  func(data []byte) []byte
+	}{
+		{"truncated", func(d []byte) []byte { return d[:len(d)/2] }},
+		{"garbage", func(d []byte) []byte { return []byte("not json at all") }},
+		{"empty", func(d []byte) []byte { return nil }},
+		{"wrong schema", func(d []byte) []byte {
+			return []byte(strings.Replace(string(d), `"schema":`, `"schema":9`, 1))
+		}},
+		{"key mismatch", func(d []byte) []byte {
+			return []byte(strings.Replace(string(d), "gzip", "mcf!", 1))
+		}},
+		{"null result", func(d []byte) []byte {
+			return []byte(strings.Replace(string(d), `"result":{`, `"result":null,"x":{`, 1))
+		}},
+	}
+	orig, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range corruptions {
+		if err := os.WriteFile(path, c.mut(append([]byte{}, orig...)), 0o666); err != nil {
+			t.Fatal(err)
+		}
+		if st.Get(key) != nil {
+			t.Errorf("%s record was served instead of treated as a miss", c.name)
+		}
+	}
+}
+
+// TestLabRecoversFromCorruptStore: a corrupt on-disk record must be
+// treated as a miss and re-simulated — never an error, never a crash —
+// and the re-simulated result must overwrite the bad record.
+func TestLabRecoversFromCorruptStore(t *testing.T) {
+	st, err := OpenStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := testSpec()
+	s.Scale = 0.02
+	key := s.Key()
+	path := st.path(hashKey(key))
+	if err := os.MkdirAll(filepath.Dir(path), 0o777); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, []byte("{corrupt"), 0o666); err != nil {
+		t.Fatal(err)
+	}
+
+	l := New()
+	l.Store = st
+	res, err := l.Result(s)
+	if err != nil {
+		t.Fatalf("lab did not recover from a corrupt record: %v", err)
+	}
+	if res == nil || res.Cycles == 0 {
+		t.Fatal("recovery produced an empty result")
+	}
+	c := l.Counters()
+	if c.Fresh != 1 || c.DiskHits != 0 {
+		t.Errorf("counters = %+v, want exactly one fresh run and no disk hits", c)
+	}
+	// The bad record was replaced: a brand-new lab gets a disk hit.
+	l2 := New()
+	l2.Store = st
+	if _, err := l2.Result(s); err != nil {
+		t.Fatal(err)
+	}
+	if c := l2.Counters(); c.DiskHits != 1 || c.Fresh != 0 {
+		t.Errorf("after recovery, counters = %+v, want a pure disk hit", c)
+	}
+}
+
+func TestStorePutIsAtomic(t *testing.T) {
+	dir := t.TempDir()
+	st, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := testSpec().Key()
+	if err := st.Put(key, testResult()); err != nil {
+		t.Fatal(err)
+	}
+	// No temp droppings left behind.
+	err = filepath.Walk(dir, func(p string, info os.FileInfo, err error) error {
+		if err != nil {
+			return err
+		}
+		if !info.IsDir() && strings.Contains(info.Name(), ".tmp-") {
+			t.Errorf("temp file left behind: %s", p)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStoreSchemaIsolation(t *testing.T) {
+	dir := t.TempDir()
+	st, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := testSpec().Key()
+	if err := st.Put(key, testResult()); err != nil {
+		t.Fatal(err)
+	}
+	// Records live under a schema-versioned subdirectory, so a future
+	// schema bump starts from a clean namespace.
+	if _, err := os.Stat(filepath.Join(dir, schemaDirName())); err != nil {
+		t.Errorf("store did not shard by schema version: %v", err)
+	}
+}
+
+func TestOpenStoreRejectsEmptyDir(t *testing.T) {
+	if _, err := OpenStore(""); err == nil {
+		t.Error("OpenStore(\"\") succeeded")
+	}
+}
+
+func TestDefaultDirNonEmpty(t *testing.T) {
+	if DefaultDir() == "" {
+		t.Error("DefaultDir returned an empty path")
+	}
+}

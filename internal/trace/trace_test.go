@@ -72,10 +72,7 @@ func TestEventRoundTripProperty(t *testing.T) {
 
 func TestCaptureMatchesEmulator(t *testing.T) {
 	b, _ := workload.ByName("parser")
-	old := workload.Scale
-	workload.Scale = 0.05
-	defer func() { workload.Scale = old }()
-	src, mem := b.Build(workload.InputA)
+	src, mem := b.Build(workload.InputA, 0.05)
 	p := compiler.MustCompile(src, compiler.WishJumpJoinLoop)
 
 	var buf bytes.Buffer
@@ -137,5 +134,94 @@ func TestReaderRejectsGarbage(t *testing.T) {
 	}
 	if _, err := r.Next(); err == nil || err == io.EOF {
 		t.Errorf("truncated event: err = %v, want decode error", err)
+	}
+}
+
+// TestDecodeRobustness is the table-driven malformed-input suite: every
+// class of damaged stream must produce an error (or a clean EOF at an
+// event boundary) — never a panic, never a silently wrong event.
+func TestDecodeRobustness(t *testing.T) {
+	// A small real trace to damage.
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	events := []Event{
+		{PC: 0, NextPC: 1},
+		{PC: 1, NextPC: 300, Taken: true},
+		{PC: 300, NextPC: 301, IsMem: true, GuardTrue: true, Addr: 0xdeadbeef, Value: -7},
+		{PC: 301, NextPC: 302, Halt: true},
+	}
+	for _, e := range events {
+		if err := w.Write(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.Bytes()
+
+	drain := func(data []byte) (int, error) {
+		r, err := NewReader(bytes.NewReader(data))
+		if err != nil {
+			return 0, err
+		}
+		n := 0
+		for {
+			_, err := r.Next()
+			if err == io.EOF {
+				return n, nil
+			}
+			if err != nil {
+				return n, err
+			}
+			n++
+		}
+	}
+
+	if n, err := drain(good); err != nil || n != len(events) {
+		t.Fatalf("intact trace: %d events, err %v", n, err)
+	}
+
+	cases := []struct {
+		name string
+		data []byte
+		// wantEvents, when >= 0, pins how many events must decode
+		// before the error; -1 means any count is fine.
+		wantEvents int
+		wantErr    bool
+	}{
+		{"zero-length", nil, 0, true},
+		{"header only", good[:5], 0, false}, // valid empty trace
+		{"one-byte magic", good[:1], 0, true},
+		{"magic no version", good[:4], 0, true},
+		{"bad magic", append([]byte("XXXX"), good[4:]...), 0, true},
+		{"bad version", append([]byte("WBTR\x63"), good[5:]...), 0, true},
+		{"seq-PC flag on first event", append(append([]byte{}, good[:5]...), 0x20 /* fSeqPC */, 1), 0, true},
+		{"overlong varint", append(append([]byte{}, good[:6]...),
+			0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x01), 0, true},
+	}
+	for _, c := range cases {
+		n, err := drain(c.data)
+		if c.wantErr && err == nil {
+			t.Errorf("%s: no error (%d events decoded)", c.name, n)
+		}
+		if !c.wantErr && err != nil {
+			t.Errorf("%s: unexpected error %v", c.name, err)
+		}
+		if c.wantEvents >= 0 && n != c.wantEvents {
+			t.Errorf("%s: decoded %d events, want %d", c.name, n, c.wantEvents)
+		}
+	}
+
+	// Truncation at every byte prefix: each must either stop cleanly at
+	// an event boundary (EOF) or report a decode error — never panic.
+	for i := 5; i < len(good); i++ {
+		n, err := drain(good[:i])
+		if err == nil && n > len(events) {
+			t.Errorf("truncation at %d invented events: %d", i, n)
+		}
 	}
 }

@@ -25,8 +25,8 @@ import (
 //
 // Registers: r1 index, r2 raw symbol, r3 mixed symbol, r4-r9 temps,
 // r13 seed, r14 address temp, r16-r19 accumulators.
-func buildBzip2(in Input) (*compiler.Source, MemInit) {
-	n := scaled(8000)
+func buildBzip2(in Input, scale float64) (*compiler.Source, MemInit) {
+	n := scaled(8000, scale)
 	const kLog = 11
 	var escThr int64
 	tripBits := uint(2)

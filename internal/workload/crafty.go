@@ -17,8 +17,8 @@ import (
 //
 // Registers: r1 index, r2/r3 raw board words, r4/r5 mixed values,
 // r6-r11 temps, r13 seed, r14/r15 address temps, r16/r17 accumulators.
-func buildCrafty(in Input) (*compiler.Source, MemInit) {
-	n := scaled(7000)
+func buildCrafty(in Input, scale float64) (*compiler.Source, MemInit) {
+	n := scaled(7000, scale)
 	const kLog = 11
 	r := newRNG("crafty", in)
 	// Attack density (out of 128) varies by input.

@@ -16,8 +16,8 @@ import (
 //
 // Registers: r1 index, r2 raw operand, r3 mixed operand, r4-r10 temps,
 // r13 seed, r14 address temp, r16/r17 accumulators.
-func buildGap(in Input) (*compiler.Source, MemInit) {
-	n := scaled(8000)
+func buildGap(in Input, scale float64) (*compiler.Source, MemInit) {
+	n := scaled(8000, scale)
 	const kLog = 11
 	hardPct := int64(6)
 	switch in {

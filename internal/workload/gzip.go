@@ -21,8 +21,8 @@ import (
 //
 // Registers: r1 index, r2 raw byte, r3 pass-mixed byte, r4-r9 temps,
 // r13 pass seed, r14 address temp, r16/r17 accumulators.
-func buildGzip(in Input) (*compiler.Source, MemInit) {
-	n := scaled(9000)
+func buildGzip(in Input, scale float64) (*compiler.Source, MemInit) {
+	n := scaled(9000, scale)
 	const kLog = 11 // 2048-element (16 KB) cache-resident input window
 	var thr int64
 	switch in {

@@ -22,8 +22,8 @@ import (
 //
 // Registers: r1 step count, r2 node pointer, r3 key, r4/r5 hash temps,
 // r6-r11 temps, r16 accumulator, r21 hash base, r23 head-pointer cell.
-func buildMcf(in Input) (*compiler.Source, MemInit) {
-	steps := scaled(4000)
+func buildMcf(in Input, scale float64) (*compiler.Source, MemInit) {
+	steps := scaled(4000, scale)
 	const (
 		numNodes   = 64 * 1024 // 64K nodes, 64 B apart: one per cache line
 		nodeStride = 64

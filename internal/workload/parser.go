@@ -15,8 +15,8 @@ import (
 //
 // Registers: r1 index, r2 raw token, r3 mixed token, r4 trip bound,
 // r5-r9 temps, r13 seed, r14 address temp, r16/r17 accumulators.
-func buildParser(in Input) (*compiler.Source, MemInit) {
-	n := scaled(9000)
+func buildParser(in Input, scale float64) (*compiler.Source, MemInit) {
+	n := scaled(9000, scale)
 	const kLog = 11
 	tripBits := uint(2) // trips 1..4
 	switch in {

@@ -19,8 +19,8 @@ import (
 //
 // Registers: r1 index, r2 raw cost, r3 coin, r4-r12 temps, r13 seed,
 // r14/r15 address temps, r16/r17 accumulators.
-func buildTwolf(in Input) (*compiler.Source, MemInit) {
-	n := scaled(7000)
+func buildTwolf(in Input, scale float64) (*compiler.Source, MemInit) {
+	n := scaled(7000, scale)
 	const kLog = 12 // 4096 elements, phase chunks of 512
 	hotOf4 := int64(2)
 	switch in {

@@ -20,8 +20,8 @@ import (
 //
 // Registers: r1 index, r2 object flag, r3-r9 temps, r13 seed,
 // r14 address temp, r16/r17 accumulators.
-func buildVortex(in Input) (*compiler.Source, MemInit) {
-	n := scaled(8000)
+func buildVortex(in Input, scale float64) (*compiler.Source, MemInit) {
+	n := scaled(8000, scale)
 	const kLog = 11
 	r := newRNG("vortex", in)
 	badPct := int64(3)

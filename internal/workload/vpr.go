@@ -23,8 +23,8 @@ import (
 //
 // Registers: r1 index, r2 raw cost, r3 coin, r4-r11 temps, r13 seed,
 // r14/r15 address temps, r16/r17 accumulators.
-func buildVpr(in Input) (*compiler.Source, MemInit) {
-	n := scaled(8000)
+func buildVpr(in Input, scale float64) (*compiler.Source, MemInit) {
+	n := scaled(8000, scale)
 	const kLog = 12    // 4096 elements (32 KB), hot/cold chunks of 1024
 	hotOf4 := int64(2) // chunks of 4 that are hot (random-phase)
 	switch in {

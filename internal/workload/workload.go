@@ -71,8 +71,10 @@ type MemInit func(*emu.Memory)
 type Benchmark struct {
 	Name string
 	// Build returns the structured source and the memory image for the
-	// given input set. The source is compiled once per binary variant.
-	Build func(in Input) (*compiler.Source, MemInit)
+	// given input set and workload scale. The source is compiled once
+	// per binary variant. Build is pure: concurrent builds at different
+	// scales are safe.
+	Build func(in Input, scale float64) (*compiler.Source, MemInit)
 }
 
 // All returns the nine benchmarks in the paper's order.
@@ -100,14 +102,17 @@ func ByName(name string) (Benchmark, bool) {
 	return Benchmark{}, false
 }
 
-// Scale multiplies every benchmark's outer iteration count; 1.0 is the
-// default "reduced input" size (a few hundred thousand dynamic µops,
-// standing in for MinneSPEC's reduced runs). Raise it for longer,
-// steadier-state runs.
-var Scale = 1.0
+// DefaultScale is the default workload scale: every benchmark's outer
+// iteration count is multiplied by the scale, and 1.0 is the "reduced
+// input" size (a few hundred thousand dynamic µops, standing in for
+// MinneSPEC's reduced runs). Raise it for longer, steadier-state runs.
+// Scale is an explicit Build parameter — not mutable package state —
+// so concurrent simulations at different scales cannot
+// cross-contaminate.
+const DefaultScale = 1.0
 
-func scaled(n int64) int64 {
-	v := int64(float64(n) * Scale)
+func scaled(n int64, scale float64) int64 {
+	v := int64(float64(n) * scale)
 	if v < 1 {
 		return 1
 	}

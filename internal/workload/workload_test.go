@@ -12,13 +12,9 @@ import (
 // check: every benchmark, every input set, all five binary variants
 // must compute identical architectural results (accumulators r16/r17).
 func TestAllBenchmarksEquivalentAcrossVariants(t *testing.T) {
-	old := Scale
-	Scale = 0.12
-	defer func() { Scale = old }()
-
 	for _, b := range All() {
 		for _, in := range Inputs() {
-			src, mem := b.Build(in)
+			src, mem := b.Build(in, 0.12)
 			var refR16, refR17 int64
 			var refUops uint64
 			for _, v := range compiler.Variants() {
@@ -50,7 +46,7 @@ func TestAllBenchmarksEquivalentAcrossVariants(t *testing.T) {
 // binary actually has wish branches, and the jjl binary has wish loops.
 func TestWishBinariesContainWishBranches(t *testing.T) {
 	for _, b := range All() {
-		src, _ := b.Build(InputA)
+		src, _ := b.Build(InputA, DefaultScale)
 		jj := compiler.MustCompile(src, compiler.WishJumpJoin)
 		if _, wish := jj.StaticCondBranches(); wish == 0 {
 			t.Errorf("%s: wish-jj binary has no wish branches", b.Name)
@@ -69,7 +65,7 @@ func TestWishBinariesContainWishBranches(t *testing.T) {
 // plain conditional-branch binary.
 func TestNormalBinaryHasNoWishBranches(t *testing.T) {
 	for _, b := range All() {
-		src, _ := b.Build(InputA)
+		src, _ := b.Build(InputA, DefaultScale)
 		for _, v := range []compiler.Variant{compiler.NormalBranch, compiler.BaseDef, compiler.BaseMax} {
 			p := compiler.MustCompile(src, v)
 			if _, wish := p.StaticCondBranches(); wish != 0 {
@@ -83,10 +79,10 @@ func TestNormalBinaryHasNoWishBranches(t *testing.T) {
 // different data (Figure 1 depends on input-driven behaviour change).
 func TestInputsDiffer(t *testing.T) {
 	for _, b := range All() {
-		src, _ := b.Build(InputA)
+		src, _ := b.Build(InputA, DefaultScale)
 		results := make(map[int64]Input)
 		for _, in := range Inputs() {
-			src2, mem := b.Build(in)
+			src2, mem := b.Build(in, DefaultScale)
 			p := compiler.MustCompile(src2, compiler.NormalBranch)
 			st := emu.New(p)
 			mem(st.Mem)
@@ -108,7 +104,7 @@ func TestInputsDiffer(t *testing.T) {
 // prog assembler against real compiler output).
 func TestDisassemblyRoundTrips(t *testing.T) {
 	for _, b := range All() {
-		src, _ := b.Build(InputA)
+		src, _ := b.Build(InputA, DefaultScale)
 		for _, v := range compiler.Variants() {
 			p := compiler.MustCompile(src, v)
 			p2, err := prog.Parse(p.Disassemble())
