@@ -21,6 +21,7 @@ import (
 	"wishbranch/internal/cpu"
 	"wishbranch/internal/emu"
 	"wishbranch/internal/exp"
+	"wishbranch/internal/obs"
 	"wishbranch/internal/workload"
 )
 
@@ -81,6 +82,8 @@ func BenchmarkTable5(b *testing.B) { runExperiment(b, "table5") }
 func BenchmarkFig14(b *testing.B)  { runExperiment(b, "fig14") }
 func BenchmarkFig15(b *testing.B)  { runExperiment(b, "fig15") }
 func BenchmarkFig16(b *testing.B)  { runExperiment(b, "fig16") }
+
+func BenchmarkObsStalls(b *testing.B) { runExperiment(b, "obs-stalls") }
 
 // BenchmarkHeadline reports the paper's headline comparison as metrics:
 // the average normalized execution time of the wish jump/join/loop
@@ -190,6 +193,42 @@ func BenchmarkPipelineCycles(b *testing.B) {
 			b.Fatal(err)
 		}
 		b.ReportMetric(res.UPC(), "µPC")
+	}
+}
+
+// BenchmarkSimulatorThroughput reports the simulator's host-side speed
+// (retired µops per wall-clock second, Result.SimUopsPerSec) with and
+// without an event-trace ring attached: the observability layer's
+// hot-path budget. The untraced run pays only nil-ring checks and the
+// per-cycle bucket increment; "traced" shows the cost of recording
+// every fetch/rename/retire/flush event into a 4096-entry ring.
+func BenchmarkSimulatorThroughput(b *testing.B) {
+	bench, _ := workload.ByName("gzip")
+	src, mem := bench.Build(workload.InputA, workload.DefaultScale)
+	p := compiler.MustCompile(src, compiler.WishJumpJoinLoop)
+	for _, traced := range []bool{false, true} {
+		name := "untraced"
+		if traced {
+			name = "traced"
+		}
+		b.Run(name, func(b *testing.B) {
+			var ups float64
+			for i := 0; i < b.N; i++ {
+				c, err := cpu.New(config.DefaultMachine(), p, mem)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if traced {
+					c.AttachTrace(obs.NewRing(4096))
+				}
+				res, err := c.Run(0)
+				if err != nil {
+					b.Fatal(err)
+				}
+				ups = res.SimUopsPerSec()
+			}
+			b.ReportMetric(ups, "µops/s")
+		})
 	}
 }
 

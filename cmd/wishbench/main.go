@@ -13,18 +13,22 @@
 //	wishbench -exp all -cache-dir ""  # no persistent result store
 //	wishbench -list                   # list experiment IDs
 //	wishbench -scale 2.0 -exp fig2
+//	wishbench -exp fig10 -stats-out fig10.json  # machine-readable snapshots
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
 	"wishbranch/internal/exp"
 	"wishbranch/internal/lab"
+	"wishbranch/internal/obs"
 )
 
 func main() {
@@ -35,8 +39,24 @@ func main() {
 		workers  = flag.Int("j", runtime.NumCPU(), "max concurrent simulations")
 		cacheDir = flag.String("cache-dir", lab.DefaultDir(), "persistent result store directory (empty = disabled)")
 		verbose  = flag.Bool("v", false, "log each simulation to stderr")
+		statsOut = flag.String("stats-out", "", "write every campaign run's stats snapshot as a JSON array to this file")
+		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile of the campaign to this file")
 	)
 	flag.Parse()
+
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "wishbench: cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "wishbench: cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
 
 	if *list {
 		for _, e := range exp.All() {
@@ -103,4 +123,44 @@ func main() {
 	}
 	fmt.Fprintf(os.Stderr, "wishbench: campaign done in %v: %s\n",
 		time.Since(campaignStart).Round(time.Millisecond), l.Sched.Summary())
+
+	if *statsOut != "" {
+		if err := dumpSnapshots(*statsOut, l, specs); err != nil {
+			fmt.Fprintf(os.Stderr, "wishbench: stats-out: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "wishbench: stats snapshots written to %s\n", *statsOut)
+	}
+}
+
+// dumpSnapshots writes the stats snapshot of every unique run of the
+// campaign as a JSON array, in declaration order (deterministic across
+// worker counts — host timing is excluded from snapshots by design, so
+// the file is byte-identical across re-runs). Every snapshot is
+// validated before export, so the file can never carry a record that
+// violates the accounting identity.
+func dumpSnapshots(path string, l *exp.Lab, specs []lab.Spec) error {
+	seen := make(map[string]bool)
+	var snaps []*obs.Snapshot
+	for _, s := range specs {
+		key := s.Key()
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		res, err := l.Sched.Result(s)
+		if err != nil {
+			return err
+		}
+		snap := s.Snapshot(res)
+		if err := snap.Validate(); err != nil {
+			return fmt.Errorf("%s: %w", s, err)
+		}
+		snaps = append(snaps, snap)
+	}
+	data, err := json.MarshalIndent(snaps, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o666)
 }

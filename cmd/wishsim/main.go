@@ -8,18 +8,25 @@
 //	wishsim -bench mcf -input A -variant wish-jjl
 //	wishsim -bench gzip -variant base-max -window 256 -depth 20
 //	wishsim -bench vpr -variant wish-jjl -disasm   # dump the binary
+//	wishsim -bench mcf -variant wish-jjl -stats-out mcf.json
+//	wishsim -bench mcf -variant wish-jjl -trace-events 64
+//	wishsim -bench mcf -variant wish-jjl -cpuprofile cpu.pprof
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"wishbranch/internal/compiler"
 	"wishbranch/internal/config"
 	"wishbranch/internal/cpu"
 	"wishbranch/internal/lab"
+	"wishbranch/internal/obs"
 	"wishbranch/internal/workload"
 )
 
@@ -38,6 +45,11 @@ func main() {
 		scale    = flag.Float64("scale", 1.0, "workload size multiplier")
 		cacheDir = flag.String("cache-dir", lab.DefaultDir(), "persistent result store directory (empty = disabled)")
 		disasm   = flag.Bool("disasm", false, "print the compiled binary and exit")
+		statsOut = flag.String("stats-out", "", "write a schema-versioned JSON stats snapshot to this file ('-' = stdout)")
+		statsCSV = flag.String("stats-csv", "", "write the stats snapshot as CSV to this file ('-' = stdout)")
+		traceN   = flag.Int("trace-events", 0, "trace the last N pipeline events (bypasses the result store)")
+		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile of the simulation to this file")
+		memProf  = flag.String("memprofile", "", "write a heap profile after the simulation to this file")
 	)
 	flag.Parse()
 
@@ -73,15 +85,18 @@ func main() {
 	m.NoPredDepend = *noDep
 	m.NoFalseFetch = *noFetch
 
-	l := lab.New()
-	if *cacheDir != "" {
-		store, serr := lab.OpenStore(*cacheDir)
-		if serr != nil {
-			fmt.Fprintf(os.Stderr, "wishsim: %v (continuing without store)\n", serr)
-		} else {
-			l.Store = store
+	if *cpuProf != "" {
+		f, perr := os.Create(*cpuProf)
+		if perr != nil {
+			fail("cpuprofile: %v", perr)
 		}
+		defer f.Close()
+		if perr := pprof.StartCPUProfile(f); perr != nil {
+			fail("cpuprofile: %v", perr)
+		}
+		defer pprof.StopCPUProfile()
 	}
+
 	spec := lab.Spec{
 		Bench:      *bench,
 		Input:      in,
@@ -90,14 +105,85 @@ func main() {
 		Scale:      *scale,
 		Thresholds: compiler.DefaultThresholds(),
 	}
-	res, err := l.Result(spec)
+
+	var (
+		res  *cpu.Result
+		ring *obs.Ring
+	)
+	if *traceN > 0 {
+		// An event trace observes the live pipeline, so a traced run
+		// always simulates fresh instead of going through the store
+		// (cached records carry no events).
+		ring = obs.NewRing(*traceN)
+		res, err = spec.SimulateInstrumented(func(c *cpu.CPU) { c.AttachTrace(ring) })
+		if err != nil {
+			fail("run: %v", err)
+		}
+		printResult(*bench, in, v, res)
+	} else {
+		l := lab.New()
+		if *cacheDir != "" {
+			store, serr := lab.OpenStore(*cacheDir)
+			if serr != nil {
+				fmt.Fprintf(os.Stderr, "wishsim: %v (continuing without store)\n", serr)
+			} else {
+				l.Store = store
+			}
+		}
+		res, err = l.Result(spec)
+		if err != nil {
+			fail("run: %v", err)
+		}
+		printResult(*bench, in, v, res)
+		if c := l.Counters(); c.DiskHits > 0 {
+			fmt.Printf("  (served from result store %s)\n", *cacheDir)
+		}
+	}
+
+	if ring != nil {
+		fmt.Println()
+		ring.Fprint(os.Stdout)
+	}
+	if *statsOut != "" {
+		if werr := writeSnapshot(*statsOut, spec, res, (*obs.Snapshot).WriteJSON); werr != nil {
+			fail("stats-out: %v", werr)
+		}
+	}
+	if *statsCSV != "" {
+		if werr := writeSnapshot(*statsCSV, spec, res, (*obs.Snapshot).WriteCSV); werr != nil {
+			fail("stats-csv: %v", werr)
+		}
+	}
+	if *memProf != "" {
+		f, perr := os.Create(*memProf)
+		if perr != nil {
+			fail("memprofile: %v", perr)
+		}
+		defer f.Close()
+		runtime.GC()
+		if perr := pprof.WriteHeapProfile(f); perr != nil {
+			fail("memprofile: %v", perr)
+		}
+	}
+}
+
+// writeSnapshot exports the run's stats snapshot to path ('-' =
+// stdout) in the format given by write.
+func writeSnapshot(path string, spec lab.Spec, res *cpu.Result,
+	write func(*obs.Snapshot, io.Writer) error) error {
+	snap := spec.Snapshot(res)
+	if path == "-" {
+		return write(snap, os.Stdout)
+	}
+	f, err := os.Create(path)
 	if err != nil {
-		fail("run: %v", err)
+		return err
 	}
-	printResult(*bench, in, v, res)
-	if c := l.Counters(); c.DiskHits > 0 {
-		fmt.Printf("  (served from result store %s)\n", *cacheDir)
+	if err := write(snap, f); err != nil {
+		f.Close()
+		return err
 	}
+	return f.Close()
 }
 
 func parseInput(s string) (workload.Input, error) {

@@ -5,6 +5,7 @@ import (
 
 	"wishbranch/internal/emu"
 	"wishbranch/internal/prog"
+	"wishbranch/internal/testutil"
 )
 
 // TestFuzzVariantEquivalence: for many random programs, all five binary
@@ -12,10 +13,7 @@ import (
 // execution. Any incorrect guard composition, wish-region layout, or
 // predicate allocation shows up as a divergence.
 func TestFuzzVariantEquivalence(t *testing.T) {
-	seeds := 60
-	if testing.Short() {
-		seeds = 10
-	}
+	seeds := testutil.Seeds(t, 60, 10)
 	for seed := 0; seed < seeds; seed++ {
 		src := GenRandomSource(uint64(seed)*2654435761 + 17)
 		var ref [GenAccs]int64
@@ -47,10 +45,7 @@ func TestFuzzVariantEquivalence(t *testing.T) {
 // TestFuzzDisassemblyRoundTrip: random compiled binaries must survive a
 // disassemble → parse round trip bit-exactly.
 func TestFuzzDisassemblyRoundTrip(t *testing.T) {
-	seeds := 20
-	if testing.Short() {
-		seeds = 5
-	}
+	seeds := testutil.Seeds(t, 20, 5)
 	for seed := 0; seed < seeds; seed++ {
 		src := GenRandomSource(uint64(seed)*48271 + 11)
 		for _, v := range Variants() {

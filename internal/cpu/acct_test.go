@@ -1,0 +1,162 @@
+package cpu
+
+import (
+	"testing"
+
+	"wishbranch/internal/compiler"
+	"wishbranch/internal/config"
+	"wishbranch/internal/obs"
+	"wishbranch/internal/workload"
+)
+
+// acctMachines are the three machine configurations the accounting
+// identity is enforced on: the paper's baseline, the select-µop
+// machine (Figure 16), and a small window/shallow pipeline (the
+// Figure 14/15 corner).
+func acctMachines() []*config.Machine {
+	return []*config.Machine{
+		config.DefaultMachine(),
+		config.DefaultMachine().WithSelectUop(),
+		config.DefaultMachine().WithWindow(128).WithDepth(10),
+	}
+}
+
+// TestCycleAccountingIdentity is the property test guarding the
+// observability layer: for every workload × compiler variant × machine
+// configuration, the stall-taxonomy buckets must partition total
+// cycles exactly, and the per-branch flush-cycle attribution must sum
+// exactly to the flush-recovery bucket. Any change to the hot
+// simulation loop that drops, double-counts, or misattributes a cycle
+// fails here before it can skew a reproduced figure.
+func TestCycleAccountingIdentity(t *testing.T) {
+	scale := 0.1
+	benches := workload.All()
+	if testing.Short() {
+		scale = 0.05
+		benches = benches[:3]
+	}
+	for _, b := range benches {
+		src, mem := b.Build(workload.InputA, scale)
+		for _, v := range compiler.Variants() {
+			p, err := compiler.Compile(src, v)
+			if err != nil {
+				t.Fatalf("%s/%v: %v", b.Name, v, err)
+			}
+			for _, m := range acctMachines() {
+				c, err := New(m, p, mem)
+				if err != nil {
+					t.Fatalf("%s/%v/%s: %v", b.Name, v, m.Name, err)
+				}
+				res, err := c.Run(0)
+				if err != nil {
+					t.Fatalf("%s/%v/%s: %v", b.Name, v, m.Name, err)
+				}
+				checkAccounting(t, b.Name+"/"+v.String()+"/"+m.Name, res)
+			}
+		}
+	}
+}
+
+// checkAccounting asserts the accounting identities on one result.
+func checkAccounting(t *testing.T, label string, res *Result) {
+	t.Helper()
+	if !res.Halted {
+		t.Fatalf("%s: did not halt", label)
+	}
+	if total := res.Acct.Total(); total != res.Cycles {
+		t.Errorf("%s: stall buckets sum to %d cycles, want %d (Δ=%d)",
+			label, total, res.Cycles, int64(res.Cycles)-int64(total))
+	}
+	var flushCycles, flushes uint64
+	for _, br := range res.Branches {
+		flushCycles += br.FlushCycles
+		flushes += br.Flushes
+	}
+	if rec := res.Acct.Buckets[obs.FlushRecovery]; flushCycles != rec {
+		t.Errorf("%s: per-branch flush cycles sum to %d, want flush-recovery bucket %d",
+			label, flushCycles, rec)
+	}
+	if flushes != res.Flushes {
+		t.Errorf("%s: per-branch flushes sum to %d, want %d", label, flushes, res.Flushes)
+	}
+	if res.Acct.Buckets[obs.UsefulRetire] == 0 {
+		t.Errorf("%s: no useful-retire cycles attributed", label)
+	}
+}
+
+// TestAccountingSurvivesCycleLimit: a run truncated by the cycle limit
+// still satisfies the partition identity — the error path must not
+// drop the in-flight cycle's attribution.
+func TestAccountingSurvivesCycleLimit(t *testing.T) {
+	b, _ := workload.ByName("gzip")
+	src, mem := b.Build(workload.InputA, 0.1)
+	p := compiler.MustCompile(src, compiler.WishJumpJoinLoop)
+	c, err := New(config.DefaultMachine(), p, mem)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.Run(500)
+	if err == nil {
+		t.Fatal("expected a cycle-limit error")
+	}
+	if res.Cycles != 500 {
+		t.Fatalf("truncated run reports %d cycles, want 500", res.Cycles)
+	}
+	if total := res.Acct.Total(); total != res.Cycles {
+		t.Errorf("truncated run: buckets sum to %d, want %d", total, res.Cycles)
+	}
+}
+
+// TestTraceRingObservesRun: an attached event ring sees fetch, rename,
+// retire (and on this workload, flush) events, stays within its bound,
+// and does not perturb the simulation.
+func TestTraceRingObservesRun(t *testing.T) {
+	b, _ := workload.ByName("parser")
+	src, mem := b.Build(workload.InputA, 0.05)
+	p := compiler.MustCompile(src, compiler.WishJumpJoinLoop)
+
+	run := func(ring *obs.Ring) *Result {
+		c, err := New(config.DefaultMachine(), p, mem)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ring != nil {
+			c.AttachTrace(ring)
+		}
+		res, err := c.Run(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+
+	plain := run(nil)
+	ring := obs.NewRing(256)
+	traced := run(ring)
+
+	if plain.Cycles != traced.Cycles || plain.RetiredUops != traced.RetiredUops {
+		t.Errorf("tracing changed the simulation: %d/%d cycles, %d/%d µops",
+			plain.Cycles, traced.Cycles, plain.RetiredUops, traced.RetiredUops)
+	}
+	evs := ring.Events()
+	if len(evs) != 256 {
+		t.Fatalf("ring retained %d events, want capacity 256", len(evs))
+	}
+	if ring.Dropped() == 0 {
+		t.Error("a full run should overflow a 256-event ring")
+	}
+	kinds := map[obs.EventKind]int{}
+	for _, e := range evs {
+		kinds[e.Kind]++
+	}
+	// The tail of a run always retires; fetch/rename appear unless the
+	// final window drained for hundreds of cycles.
+	if kinds[obs.EvRetire] == 0 {
+		t.Errorf("no retire events in trace tail: %v", kinds)
+	}
+	for i := 1; i < len(evs); i++ {
+		if evs[i].Cycle < evs[i-1].Cycle {
+			t.Fatalf("events out of order: %v before %v", evs[i-1], evs[i])
+		}
+	}
+}

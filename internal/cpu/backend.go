@@ -6,6 +6,7 @@ import (
 
 	"wishbranch/internal/config"
 	"wishbranch/internal/isa"
+	"wishbranch/internal/obs"
 	"wishbranch/internal/prog"
 )
 
@@ -25,6 +26,7 @@ func (c *CPU) dispatch() {
 		}
 		if c.robCount+need > len(c.rob) {
 			c.dbgRobFull++
+			c.acctFull = true
 			return
 		}
 		c.fetchQ = c.fetchQ[1:]
@@ -49,6 +51,9 @@ func (c *CPU) needsSelect(u *uop) bool {
 func (c *CPU) rename(u *uop) {
 	u.dispatched = true
 	in := u.inst
+	if c.ring != nil {
+		c.ring.Record(obs.Event{Cycle: c.cycle, Seq: u.seq, PC: u.pc, Kind: obs.EvRename})
+	}
 
 	addIntSrcs := func() {
 		srcs, n := in.IntSrcs()
@@ -331,6 +336,14 @@ func (c *CPU) resolve(u *uop) {
 // and redirects fetch to redirectPC.
 func (c *CPU) flush(u *uop, redirectPC int, noExit bool) {
 	c.res.Flushes++
+	squashedBefore := c.res.Squashed
+
+	// Accounting: charge the flush to u's static PC and mark the
+	// pipeline as recovering until the first post-flush µop retires
+	// (everything fetched from here on has seq >= c.seq).
+	c.recoverRec = c.brTab.At(u.pc)
+	c.recoverRec.Flushes++
+	c.recoverSeq = c.seq
 
 	// Squash the window tail younger than u.
 	for c.robCount > 0 {
@@ -422,6 +435,10 @@ func (c *CPU) flush(u *uop, redirectPC int, noExit bool) {
 	c.fetchHalted = c.st.Halted
 	c.nextFetch = c.cycle + 1
 	c.curLine = 0
+	if c.ring != nil {
+		c.ring.Record(obs.Event{Cycle: c.cycle, Seq: u.seq, PC: u.pc, Kind: obs.EvFlush,
+			Arg: c.res.Squashed - squashedBefore})
+	}
 }
 
 // retire commits up to RetireWidth completed µops in order.
@@ -451,6 +468,26 @@ func (c *CPU) retire() {
 func (c *CPU) retireUop(u *uop) {
 	c.res.RetiredUops++
 	in := u.inst
+
+	// Accounting: count this retire, classify it as useful work or
+	// predication overhead, and end flush recovery once post-flush
+	// work commits.
+	c.acctRetired++
+	useful := !u.isSelect && (in.IsBranch() || in.Guard == isa.P0 || u.guardVal)
+	if useful {
+		c.acctUseful++
+	}
+	if c.recoverRec != nil && u.seq >= c.recoverSeq {
+		c.recoverRec = nil
+	}
+	if c.ring != nil {
+		var arg uint64
+		if u.isSelect {
+			arg = 1
+		}
+		c.ring.Record(obs.Event{Cycle: c.cycle, Seq: u.seq, PC: u.pc, Kind: obs.EvRetire, Arg: arg})
+	}
+
 	if u.isSelect {
 		return
 	}
@@ -466,8 +503,18 @@ func (c *CPU) retireUop(u *uop) {
 
 	if u.isCond {
 		c.res.CondBranches++
+		rec := c.brTab.At(u.pc)
+		rec.Retired++
 		if u.dirPred != u.actualTaken {
 			c.res.MispredCondBr++
+			rec.Mispredicts++
+		}
+		if in.IsWish() {
+			if u.highConf {
+				rec.ConfHigh++
+			} else {
+				rec.ConfLow++
+			}
 		}
 		if u.predValid {
 			c.bp.Commit(pc64, u.pred, u.actualTaken)

@@ -26,6 +26,7 @@ import (
 	"wishbranch/internal/config"
 	"wishbranch/internal/emu"
 	"wishbranch/internal/isa"
+	"wishbranch/internal/obs"
 	"wishbranch/internal/prog"
 )
 
@@ -89,6 +90,20 @@ type CPU struct {
 
 	res Result
 
+	// Cycle accounting (internal/obs): per-cycle trackers feeding the
+	// stall-taxonomy attribution in account(). recoverRec is the
+	// attribution record of the branch whose flush the pipeline is
+	// currently recovering from (nil = not recovering); recoverSeq is
+	// the first sequence number fetched after that flush, so recovery
+	// ends when post-flush work first retires.
+	brTab       *obs.BranchTable
+	recoverRec  *obs.BranchStat
+	recoverSeq  uint64
+	acctRetired int  // µops retired this cycle
+	acctUseful  int  // of those, useful (non-select, non-NOP) µops
+	acctFull    bool // dispatch was blocked on window space this cycle
+	ring        *obs.Ring
+
 	// Internal diagnostics, maintained cheaply every run: cumulative
 	// branch resolution delay (flush-penalty decomposition), cycles the
 	// window was full at dispatch, and retire-blocked cycles by the
@@ -133,6 +148,7 @@ func New(cfg *config.Machine, p *prog.Program, init func(*emu.Memory)) (*CPU, er
 		fetchQCap:     cfg.FrontEndDepth*cfg.FetchWidth + cfg.FetchWidth,
 		rob:           make([]*uop, cfg.ROBSize),
 		storeWriter:   make(map[uint64]*uop),
+		brTab:         obs.NewBranchTable(),
 	}
 	if cfg.UseLoopPredictor {
 		c.lp = bpred.NewLoopPredictor(cfg.LoopPredEntries)
@@ -154,7 +170,7 @@ func (c *CPU) Run(maxCycles uint64) (*Result, error) {
 	start := time.Now()
 	for !c.res.Halted {
 		if c.cycle >= maxCycles {
-			c.collectCacheStats()
+			c.finishRun()
 			c.res.WallNanos = time.Since(start).Nanoseconds()
 			return &c.res, fmt.Errorf("cpu: cycle limit %d reached (pc=%d, retired=%d)",
 				maxCycles, c.st.PC, c.res.RetiredUops)
@@ -164,15 +180,64 @@ func (c *CPU) Run(maxCycles uint64) (*Result, error) {
 		c.issue()
 		c.dispatch()
 		c.fetch()
+		c.account()
 		c.cycle++
 	}
 	c.res.Cycles = c.cycle
-	c.collectCacheStats()
+	c.finishRun()
 	c.res.WallNanos = time.Since(start).Nanoseconds()
 	return &c.res, nil
 }
 
-func (c *CPU) collectCacheStats() {
+// account closes the cycle for the observability layer: it attributes
+// the cycle to exactly one stall-taxonomy bucket (the accounting
+// identity: buckets partition total cycles) and resets the per-cycle
+// trackers. Priority: retires beat stalls; flush recovery beats every
+// other stall; an empty window is a front-end problem, a non-empty one
+// a back-end problem.
+func (c *CPU) account() {
+	var b obs.Bucket
+	switch {
+	case c.acctUseful > 0:
+		b = obs.UsefulRetire
+	case c.acctRetired > 0:
+		// Only predication overhead retired: predicated-false NOPs or
+		// injected select µops.
+		b = obs.WishNOP
+	case c.recoverRec != nil:
+		// Refilling after a flush; also charged to the flushing branch,
+		// so per-branch flush cycles sum exactly to this bucket.
+		b = obs.FlushRecovery
+		c.recoverRec.FlushCycles++
+	case c.robCount == 0:
+		if len(c.fetchQ) == 0 && c.cycle < c.nextFetch {
+			b = obs.Structural // I-cache miss or BTB decode bubble
+		} else {
+			b = obs.FetchStall // front-end pipeline fill
+		}
+	default:
+		head := c.rob[c.robHead]
+		switch {
+		case !head.done && (head.isSelect || (head.inst.Guard != isa.P0 && !head.inst.IsBranch())):
+			b = obs.PredSerial
+		case c.acctFull:
+			b = obs.WindowFull
+		default:
+			b = obs.ExecLatency
+		}
+	}
+	c.res.Acct.Buckets[b]++
+	c.acctRetired, c.acctUseful, c.acctFull = 0, 0, false
+}
+
+// AttachTrace connects a bounded event ring; every fetch, rename,
+// retire, and flush event of the rest of the run is recorded into it.
+// Tracing is observational only — it never changes simulation results.
+func (c *CPU) AttachTrace(r *obs.Ring) { c.ring = r }
+
+// finishRun flattens the end-of-run statistics into the result
+// (cache totals and the sorted per-branch attribution table).
+func (c *CPU) finishRun() {
 	c.res.L1I = c.hier.L1I.Stats
 	c.res.L1D = c.hier.L1D.Stats
 	c.res.L2 = c.hier.L2.Stats
@@ -180,6 +245,7 @@ func (c *CPU) collectCacheStats() {
 	if c.res.Cycles == 0 {
 		c.res.Cycles = c.cycle
 	}
+	c.res.Branches = c.brTab.Sorted()
 }
 
 // Mode returns the current front-end wish mode (for tests and the

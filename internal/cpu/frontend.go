@@ -6,6 +6,7 @@ import (
 	"wishbranch/internal/bpred"
 	"wishbranch/internal/emu"
 	"wishbranch/internal/isa"
+	"wishbranch/internal/obs"
 	"wishbranch/internal/prog"
 )
 
@@ -103,6 +104,13 @@ func (c *CPU) fetch() {
 		}
 
 		c.res.FetchedUops++
+		if c.ring != nil {
+			var arg uint64
+			if u.wrongPath {
+				arg = 1
+			}
+			c.ring.Record(obs.Event{Cycle: c.cycle, Seq: u.seq, PC: u.pc, Kind: obs.EvFetch, Arg: arg})
+		}
 		u.dispReady = c.cycle + uint64(c.cfg.FrontEndDepth)
 		c.fetchQ = append(c.fetchQ, u)
 		budget--

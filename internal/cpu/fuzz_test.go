@@ -7,6 +7,7 @@ import (
 	"wishbranch/internal/config"
 	"wishbranch/internal/emu"
 	"wishbranch/internal/isa"
+	"wishbranch/internal/testutil"
 )
 
 // TestFuzzPipelineEquivalence drives randomly generated structured
@@ -18,10 +19,7 @@ import (
 // wish-loop recovery, select-µops, and flush repair all have to agree
 // with the emulator on every program.
 func TestFuzzPipelineEquivalence(t *testing.T) {
-	seeds := 25
-	if testing.Short() {
-		seeds = 5
-	}
+	seeds := testutil.Seeds(t, 25, 5)
 	cfgs := []*config.Machine{
 		config.DefaultMachine(),
 		config.DefaultMachine().WithSelectUop(),

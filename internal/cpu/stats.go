@@ -1,6 +1,9 @@
 package cpu
 
-import "wishbranch/internal/cache"
+import (
+	"wishbranch/internal/cache"
+	"wishbranch/internal/obs"
+)
 
 // WishClass breaks down retired dynamic wish branches of one type by
 // confidence estimate and prediction outcome, the classification behind
@@ -40,6 +43,15 @@ type Result struct {
 
 	L1I, L1D, L2 cache.Stats
 	Mem          cache.Stats
+
+	// Acct attributes every simulated cycle to exactly one bucket of
+	// the stall taxonomy; obs.Accounting.Total() always equals Cycles
+	// (the accounting identity, enforced by TestCycleAccountingIdentity).
+	Acct obs.Accounting
+	// Branches holds one attribution record per retired or flushing
+	// static branch, sorted most flush cycles first. The per-branch
+	// FlushCycles sum exactly to Acct.Buckets[obs.FlushRecovery].
+	Branches []obs.BranchStat `json:",omitempty"`
 
 	Halted bool // program ran to completion
 
@@ -89,3 +101,81 @@ func (r *Result) SimUopsPerSec() float64 {
 	}
 	return float64(r.RetiredUops) / (float64(r.WallNanos) / 1e9)
 }
+
+// snapshotTopBranches bounds the per-branch attribution list exported
+// in a snapshot to the top offenders.
+const snapshotTopBranches = 20
+
+// Snapshot flattens the result into the schema-versioned
+// machine-readable export (obs.Snapshot), labeled with the run's
+// identity. Host-side timing is excluded by design: snapshots are
+// byte-identical across re-runs of the same spec.
+func (r *Result) Snapshot(bench, input, variant, machine string) *obs.Snapshot {
+	s := &obs.Snapshot{
+		Schema:         obs.SnapshotSchema,
+		Bench:          bench,
+		Input:          input,
+		Variant:        variant,
+		Machine:        machine,
+		Cycles:         r.Cycles,
+		RetiredUops:    r.RetiredUops,
+		ProgUops:       r.ProgUops,
+		FetchedUops:    r.FetchedUops,
+		Squashed:       r.Squashed,
+		CondBranches:   r.CondBranches,
+		MispredCondBr:  r.MispredCondBr,
+		Flushes:        r.Flushes,
+		BTBMissBubbles: r.BTBMissBubbles,
+		UPC:            r.UPC(),
+		MispredPer1K:   r.MispredPer1K(),
+	}
+	for _, b := range obs.Buckets() {
+		s.Stalls = append(s.Stalls, obs.BucketStat{
+			Name:   b.String(),
+			Cycles: r.Acct.Buckets[b],
+			Share:  r.Acct.Share(b),
+		})
+	}
+	top := r.Branches
+	if len(top) > snapshotTopBranches {
+		top = top[:snapshotTopBranches]
+	}
+	s.Branches = append(s.Branches, top...)
+	for _, wc := range []struct {
+		typ string
+		c   WishClass
+	}{
+		{"jump", r.WishJump}, {"join", r.WishJoin}, {"loop", r.WishLoop},
+	} {
+		if wc.c.Total() == 0 {
+			continue
+		}
+		s.Wish = append(s.Wish, obs.WishStat{
+			Type:        wc.typ,
+			HighCorrect: wc.c.HighCorrect,
+			HighMispred: wc.c.HighMispred,
+			LowCorrect:  wc.c.LowCorrect,
+			LowMispred:  wc.c.LowMispred,
+			LowEarly:    wc.c.LowEarly,
+			LowLate:     wc.c.LowLate,
+			LowNoExit:   wc.c.LowNoExit,
+		})
+	}
+	for _, cs := range []struct {
+		level string
+		st    cache.Stats
+	}{
+		{"L1I", r.L1I}, {"L1D", r.L1D}, {"L2", r.L2}, {"mem", r.Mem},
+	} {
+		s.Caches = append(s.Caches, obs.CacheStat{
+			Level:    cs.level,
+			Accesses: cs.st.Accesses,
+			Misses:   cs.st.Misses,
+		})
+	}
+	return s
+}
+
+// Share returns bucket b's fraction of the run's cycles (a convenience
+// wrapper over the accounting).
+func (r *Result) Share(b obs.Bucket) float64 { return r.Acct.Share(b) }

@@ -7,6 +7,7 @@ import (
 
 	"wishbranch/internal/compiler"
 	"wishbranch/internal/config"
+	"wishbranch/internal/obs"
 	"wishbranch/internal/workload"
 )
 
@@ -64,11 +65,12 @@ func TestNormIsRelative(t *testing.T) {
 
 func TestExperimentRegistry(t *testing.T) {
 	ids := IDs()
-	if len(ids) != 17 {
-		t.Errorf("%d experiments, want 17 (every paper table and figure + 3 extensions)", len(ids))
+	if len(ids) != 18 {
+		t.Errorf("%d experiments, want 18 (every paper table and figure + 3 extensions + obs-stalls)", len(ids))
 	}
 	for _, id := range []string{"fig1", "fig2", "table1", "table2", "table3",
-		"table4", "fig10", "fig11", "fig12", "fig13", "table5", "fig14", "fig15", "fig16"} {
+		"table4", "fig10", "fig11", "fig12", "fig13", "table5", "fig14", "fig15", "fig16",
+		"obs-stalls"} {
 		if _, ok := ByID(id); !ok {
 			t.Errorf("experiment %q missing", id)
 		}
@@ -114,6 +116,46 @@ func TestFastExperimentsProduceOutput(t *testing.T) {
 				t.Errorf("table5 incomplete:\n%s", out)
 			}
 		}
+	}
+}
+
+// TestObsStallsOutput runs the cycle-accounting experiment end to end
+// at a small scale: every bucket of the taxonomy must appear as a
+// column, and the per-benchmark shares must sum to ~100% (the rendered
+// face of the accounting identity).
+func TestObsStallsOutput(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy")
+	}
+	l := testLab(0.05)
+	e, ok := ByID("obs-stalls")
+	if !ok {
+		t.Fatal("obs-stalls not registered")
+	}
+	var buf bytes.Buffer
+	if err := Run(e, l, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, b := range obs.Buckets() {
+		if !strings.Contains(out, b.String()) {
+			t.Errorf("output missing bucket column %q", b)
+		}
+	}
+	if !strings.Contains(out, "Top offending branches") {
+		t.Error("output missing the branch attribution table")
+	}
+	// Spot-check the identity on one rendered run.
+	r, err := l.Result("gzip", workload.InputA, compiler.WishJumpJoinLoop, config.DefaultMachine())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum float64
+	for _, b := range obs.Buckets() {
+		sum += r.Share(b)
+	}
+	if sum < 0.999 || sum > 1.001 {
+		t.Errorf("bucket shares sum to %v, want 1", sum)
 	}
 }
 

@@ -27,6 +27,7 @@ import (
 	"wishbranch/internal/compiler"
 	"wishbranch/internal/config"
 	"wishbranch/internal/cpu"
+	"wishbranch/internal/obs"
 	"wishbranch/internal/workload"
 )
 
@@ -36,8 +37,11 @@ import (
 // unchanged configuration. Version 1 was the hand-rolled format-string
 // signature of internal/exp, which silently aliased entries when a
 // config.Machine field was added; version 2 derives the machine
-// signature exhaustively from the struct.
-const SchemaVersion = 2
+// signature exhaustively from the struct; version 3 adds the
+// cycle-accounting fields (Result.Acct, Result.Branches) — a v2
+// record would decode with empty accounting and violate the
+// buckets-partition-cycles identity, so it must read as a miss.
+const SchemaVersion = 3
 
 // Spec fully identifies one simulation. Two Specs with equal Keys
 // produce identical results; everything that affects simulation
@@ -97,6 +101,15 @@ func (s Spec) Hash() string {
 // Simulate builds, compiles, and runs the spec. It is pure: safe to
 // call from any number of goroutines.
 func (s Spec) Simulate() (*cpu.Result, error) {
+	return s.SimulateInstrumented(nil)
+}
+
+// SimulateInstrumented is Simulate with an observer hook: attach, when
+// non-nil, receives the constructed CPU before the run starts — e.g.
+// to connect an obs.Ring event trace. Instrumentation is observational
+// only and must not change results; instrumented runs are therefore
+// never cached (callers that want the store go through Simulate).
+func (s Spec) SimulateInstrumented(attach func(*cpu.CPU)) (*cpu.Result, error) {
 	if err := s.Validate(); err != nil {
 		return nil, err
 	}
@@ -110,11 +123,24 @@ func (s Spec) Simulate() (*cpu.Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	if attach != nil {
+		attach(c)
+	}
 	res, err := c.Run(s.MaxCycles)
 	if err != nil {
 		return nil, fmt.Errorf("lab: %s: %w", s.Key(), err)
 	}
 	return res, nil
+}
+
+// Snapshot builds the machine-readable export record for a result of
+// this spec, labeled with the spec's identity.
+func (s Spec) Snapshot(r *cpu.Result) *obs.Snapshot {
+	machine := "?"
+	if s.Machine != nil {
+		machine = s.Machine.Name
+	}
+	return r.Snapshot(s.Bench, s.Input.String(), s.Variant.String(), machine)
 }
 
 // String is a short human-readable label for progress lines.

@@ -1,6 +1,7 @@
 package lab
 
 import (
+	"bytes"
 	"os"
 	"path/filepath"
 	"strings"
@@ -174,5 +175,54 @@ func TestOpenStoreRejectsEmptyDir(t *testing.T) {
 func TestDefaultDirNonEmpty(t *testing.T) {
 	if DefaultDir() == "" {
 		t.Error("DefaultDir returned an empty path")
+	}
+}
+
+// TestStoreRecordsExcludeHostTiming: wall-clock and host-throughput
+// measurements describe the simulator process, not the simulated
+// machine, so they must not leak into the persisted value records —
+// two runs of the same spec that differ only in host timing must
+// produce byte-identical records, and a served hit reports no timing.
+func TestStoreRecordsExcludeHostTiming(t *testing.T) {
+	st, err := OpenStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := testSpec().Key()
+	path := st.path(hashKey(key))
+
+	r1 := testResult()
+	r1.WallNanos = 42
+	if err := st.Put(key, r1); err != nil {
+		t.Fatal(err)
+	}
+	first, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A warm re-run of the same simulation: identical deterministic
+	// stats, different host timing.
+	r2 := testResult()
+	r2.WallNanos = 987654321
+	if err := st.Put(key, r2); err != nil {
+		t.Fatal(err)
+	}
+	second, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(first, second) {
+		t.Errorf("host timing leaked into the stored record:\n--- first ---\n%s\n--- second ---\n%s",
+			first, second)
+	}
+
+	// The sanitization is a copy: the caller's in-memory result keeps
+	// its measurement, only the persisted bytes drop it.
+	if r2.WallNanos != 987654321 {
+		t.Errorf("Put mutated the caller's result (WallNanos=%d)", r2.WallNanos)
+	}
+	if got := st.Get(key); got == nil || got.WallNanos != 0 {
+		t.Errorf("served record carries host timing: %+v", got)
 	}
 }

@@ -1,0 +1,130 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+)
+
+// EventKind tags one pipeline event in the trace ring.
+type EventKind uint8
+
+const (
+	// EvFetch: a µop entered the front end (Arg = 1 on the wrong path).
+	EvFetch EventKind = iota
+	// EvRename: a µop was renamed into the window.
+	EvRename
+	// EvRetire: a µop committed (Arg = 1 for an injected select µop).
+	EvRetire
+	// EvFlush: a branch flushed the pipeline (Arg = µops squashed).
+	EvFlush
+)
+
+func (k EventKind) String() string {
+	switch k {
+	case EvFetch:
+		return "fetch"
+	case EvRename:
+		return "rename"
+	case EvRetire:
+		return "retire"
+	case EvFlush:
+		return "flush"
+	}
+	return fmt.Sprintf("event-%d", uint8(k))
+}
+
+// Event is one entry of the trace ring.
+type Event struct {
+	Cycle uint64
+	Seq   uint64
+	PC    int
+	Kind  EventKind
+	Arg   uint64
+}
+
+func (e Event) String() string {
+	s := fmt.Sprintf("cycle %8d  seq %8d  pc %5d  %s", e.Cycle, e.Seq, e.PC, e.Kind)
+	switch {
+	case e.Kind == EvFlush:
+		s += fmt.Sprintf(" (%d squashed)", e.Arg)
+	case e.Kind == EvFetch && e.Arg != 0:
+		s += " (wrong path)"
+	case e.Kind == EvRetire && e.Arg != 0:
+		s += " (select µop)"
+	}
+	return s
+}
+
+// Ring is a bounded event buffer: the pipeline records every event,
+// the ring keeps the newest N and counts the rest as dropped. A nil
+// *Ring is safe to record into (and records nothing), so the pipeline
+// can stay unconditionally instrumented.
+type Ring struct {
+	buf     []Event
+	next    int
+	wrapped bool
+	total   uint64
+}
+
+// NewRing returns a ring keeping the newest n events (n must be > 0).
+func NewRing(n int) *Ring {
+	if n <= 0 {
+		panic("obs: ring capacity must be positive")
+	}
+	return &Ring{buf: make([]Event, n)}
+}
+
+// Record appends an event, evicting the oldest when full.
+func (r *Ring) Record(e Event) {
+	if r == nil {
+		return
+	}
+	r.total++
+	r.buf[r.next] = e
+	r.next++
+	if r.next == len(r.buf) {
+		r.next = 0
+		r.wrapped = true
+	}
+}
+
+// Events returns the retained events, oldest to newest.
+func (r *Ring) Events() []Event {
+	if r == nil {
+		return nil
+	}
+	if !r.wrapped {
+		return append([]Event(nil), r.buf[:r.next]...)
+	}
+	out := make([]Event, 0, len(r.buf))
+	out = append(out, r.buf[r.next:]...)
+	return append(out, r.buf[:r.next]...)
+}
+
+// Total returns how many events were recorded over the run, including
+// those the ring has since evicted.
+func (r *Ring) Total() uint64 {
+	if r == nil {
+		return 0
+	}
+	return r.total
+}
+
+// Dropped returns how many events were evicted.
+func (r *Ring) Dropped() uint64 {
+	if r == nil {
+		return 0
+	}
+	return r.total - uint64(len(r.Events()))
+}
+
+// Fprint renders the retained events, one per line, with a header
+// noting how many older events were dropped.
+func (r *Ring) Fprint(w io.Writer) {
+	evs := r.Events()
+	fmt.Fprintf(w, "event trace: %d events retained (%d recorded, %d dropped)\n",
+		len(evs), r.Total(), r.Dropped())
+	for _, e := range evs {
+		fmt.Fprintf(w, "  %s\n", e)
+	}
+}

@@ -1,0 +1,17 @@
+// Package testutil holds the small knobs the test suites share.
+package testutil
+
+import "testing"
+
+// Seeds returns the iteration count for a randomized property test:
+// full normally, short under go test -short. Every long fuzz loop in
+// the repo sizes itself through this one helper, so the -short suite
+// (the fast CI job, and the race job so it stops being the long pole)
+// shrinks uniformly and predictably instead of per-test ad hoc.
+func Seeds(t testing.TB, full, short int) int {
+	t.Helper()
+	if testing.Short() {
+		return short
+	}
+	return full
+}

@@ -1,0 +1,13 @@
+package testutil
+
+import "testing"
+
+func TestSeedsTracksShortMode(t *testing.T) {
+	want := 25
+	if testing.Short() {
+		want = 5
+	}
+	if got := Seeds(t, 25, 5); got != want {
+		t.Errorf("Seeds(25, 5) = %d under short=%v, want %d", got, testing.Short(), want)
+	}
+}
