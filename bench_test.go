@@ -13,6 +13,7 @@ package wishbranch_test
 import (
 	"io"
 	"testing"
+	"time"
 
 	"wishbranch/internal/bpred"
 	"wishbranch/internal/cache"
@@ -197,11 +198,15 @@ func BenchmarkPipelineCycles(b *testing.B) {
 }
 
 // BenchmarkSimulatorThroughput reports the simulator's host-side speed
-// (retired µops per wall-clock second, Result.SimUopsPerSec) with and
-// without an event-trace ring attached: the observability layer's
-// hot-path budget. The untraced run pays only nil-ring checks and the
-// per-cycle bucket increment; "traced" shows the cost of recording
-// every fetch/rename/retire/flush event into a 4096-entry ring.
+// (retired µops per wall-clock second, timed around cpu.Run — results
+// themselves carry no host measurements) with and without an
+// event-trace ring attached: the observability layer's hot-path
+// budget. The untraced run pays only nil-ring checks and the per-cycle
+// bucket increment; "traced" shows the cost of recording every
+// fetch/rename/retire/flush event into a 4096-entry ring. Allocations
+// are reported: steady-state simulation must not allocate (the arena +
+// flat-table invariant TestSteadyStateZeroAlloc gates), so allocs/op
+// stays flat at the per-run setup cost regardless of simulated length.
 func BenchmarkSimulatorThroughput(b *testing.B) {
 	bench, _ := workload.ByName("gzip")
 	src, mem := bench.Build(workload.InputA, workload.DefaultScale)
@@ -212,6 +217,7 @@ func BenchmarkSimulatorThroughput(b *testing.B) {
 			name = "traced"
 		}
 		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
 			var ups float64
 			for i := 0; i < b.N; i++ {
 				c, err := cpu.New(config.DefaultMachine(), p, mem)
@@ -221,11 +227,15 @@ func BenchmarkSimulatorThroughput(b *testing.B) {
 				if traced {
 					c.AttachTrace(obs.NewRing(4096))
 				}
+				t0 := time.Now()
 				res, err := c.Run(0)
+				elapsed := time.Since(t0)
 				if err != nil {
 					b.Fatal(err)
 				}
-				ups = res.SimUopsPerSec()
+				if elapsed > 0 {
+					ups = float64(res.RetiredUops) / elapsed.Seconds()
+				}
 			}
 			b.ReportMetric(ups, "µops/s")
 		})

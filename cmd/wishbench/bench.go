@@ -1,0 +1,239 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"wishbranch/internal/compiler"
+	"wishbranch/internal/config"
+	"wishbranch/internal/cpu"
+	"wishbranch/internal/workload"
+)
+
+// The host-throughput benchmark suite behind BENCH_baseline.json. Each
+// entry simulates one workload × variant × machine end to end; the
+// µop count is a determinism check (exact match against the baseline),
+// µops/sec is the throughput gate (relative, tolerance-checked), and
+// steady-state allocations are the arena-invariant gate (must never
+// grow; the committed baseline is 0).
+//
+// Refresh procedure (see README): on an idle machine,
+//
+//	go run ./cmd/wishbench -bench-out BENCH_baseline.json
+//
+// and commit the result together with the change that moved the
+// numbers.
+
+// benchSchema versions the BENCH_*.json format.
+const benchSchema = 1
+
+// BenchFile is the on-disk format of BENCH_baseline.json.
+type BenchFile struct {
+	Schema    int         `json:"schema"`
+	GoVersion string      `json:"go_version"`
+	Entries   []BenchStat `json:"entries"`
+}
+
+// BenchStat is one suite entry's measurement.
+type BenchStat struct {
+	Name        string  `json:"name"`
+	RetiredUops uint64  `json:"retired_uops"` // determinism check: exact
+	UopsPerSec  float64 `json:"uops_per_sec"` // throughput gate: relative
+	SteadyAlloc uint64  `json:"steady_allocs"` // arena gate: never grows
+}
+
+// benchCase is one suite configuration.
+type benchCase struct {
+	name    string
+	bench   string
+	variant compiler.Variant
+	machine func() *config.Machine
+}
+
+// benchSuite covers the hot path's distinct regimes: the wish binary
+// on the default (C-style) machine, a flush-heavy pointer chaser, the
+// predicated binary, and the select-µop rename path.
+func benchSuite() []benchCase {
+	return []benchCase{
+		{"gzip/wish-jjl/default", "gzip", compiler.WishJumpJoinLoop, config.DefaultMachine},
+		{"mcf/normal/default", "mcf", compiler.NormalBranch, config.DefaultMachine},
+		{"parser/base-max/default", "parser", compiler.BaseMax, config.DefaultMachine},
+		{"gzip/base-max/select", "gzip", compiler.BaseMax,
+			func() *config.Machine { return config.DefaultMachine().WithSelectUop() }},
+	}
+}
+
+// benchScale sizes the suite's workloads: large enough that a timed
+// run dwarfs setup cost and has a real steady state, small enough that
+// the whole suite (warm-up + repetitions) stays under a CI minute.
+const benchScale = 2.0
+
+// benchReps is how many timed repetitions each case runs; the fastest
+// is reported, which is the standard way to reject scheduler noise on
+// a shared CI host.
+const benchReps = 3
+
+// runBenchSuite measures every case and returns the fresh file.
+func runBenchSuite() (*BenchFile, error) {
+	out := &BenchFile{Schema: benchSchema, GoVersion: runtime.Version()}
+	for _, bc := range benchSuite() {
+		st, err := runBenchCase(bc)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", bc.name, err)
+		}
+		fmt.Fprintf(os.Stderr, "wishbench: bench %-28s %12d µops  %10.0f µops/s  %d steady allocs\n",
+			bc.name, st.RetiredUops, st.UopsPerSec, st.SteadyAlloc)
+		out.Entries = append(out.Entries, st)
+	}
+	return out, nil
+}
+
+func runBenchCase(bc benchCase) (BenchStat, error) {
+	b, ok := workload.ByName(bc.bench)
+	if !ok {
+		return BenchStat{}, fmt.Errorf("unknown workload %q", bc.bench)
+	}
+	src, mem := b.Build(workload.InputA, benchScale)
+	p, err := compiler.Compile(src, bc.variant)
+	if err != nil {
+		return BenchStat{}, err
+	}
+
+	newCPU := func() (*cpu.CPU, error) { return cpu.New(bc.machine(), p, mem) }
+
+	// Steady-state allocation probe: warm one simulator past its
+	// working-set growth, then count mallocs across a window.
+	c, err := newCPU()
+	if err != nil {
+		return BenchStat{}, err
+	}
+	if c.Advance(300000) {
+		return BenchStat{}, fmt.Errorf("workload too short for a steady-state window")
+	}
+	var m0, m1 runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&m0)
+	c.Advance(20000)
+	runtime.ReadMemStats(&m1)
+	steady := m1.Mallocs - m0.Mallocs
+
+	// Throughput: one warm-up run, then benchReps timed runs; keep the
+	// fastest.
+	var st BenchStat
+	st.Name = bc.name
+	for rep := 0; rep <= benchReps; rep++ {
+		c, err := newCPU()
+		if err != nil {
+			return BenchStat{}, err
+		}
+		t0 := time.Now()
+		res, err := c.Run(0)
+		elapsed := time.Since(t0)
+		if err != nil {
+			return BenchStat{}, err
+		}
+		if rep == 0 {
+			st.RetiredUops = res.RetiredUops // warm-up run still checks determinism
+		}
+		if res.RetiredUops != st.RetiredUops {
+			return BenchStat{}, fmt.Errorf("retired µops changed across repetitions: %d vs %d",
+				res.RetiredUops, st.RetiredUops)
+		}
+		if rep == 0 || elapsed <= 0 {
+			continue
+		}
+		if ups := float64(res.RetiredUops) / elapsed.Seconds(); ups > st.UopsPerSec {
+			st.UopsPerSec = ups
+		}
+	}
+	st.SteadyAlloc = steady
+	return st, nil
+}
+
+// compareBench gates fresh numbers against the committed baseline:
+// exact µop counts (determinism), µops/sec within tolerance
+// (throughput), and steady-state allocations never above baseline
+// (arena invariant). Returns a non-nil error describing every
+// violation.
+func compareBench(baseline, fresh *BenchFile, tolerance float64) error {
+	if baseline.Schema != benchSchema {
+		return fmt.Errorf("baseline schema %d, tool expects %d (refresh BENCH_baseline.json)", baseline.Schema, benchSchema)
+	}
+	byName := make(map[string]BenchStat, len(fresh.Entries))
+	for _, e := range fresh.Entries {
+		byName[e.Name] = e
+	}
+	var failures []string
+	for _, base := range baseline.Entries {
+		got, ok := byName[base.Name]
+		if !ok {
+			failures = append(failures, fmt.Sprintf("%s: missing from fresh run", base.Name))
+			continue
+		}
+		if got.RetiredUops != base.RetiredUops {
+			failures = append(failures, fmt.Sprintf("%s: retired µops %d, baseline %d (simulation results changed!)",
+				base.Name, got.RetiredUops, base.RetiredUops))
+		}
+		if floor := base.UopsPerSec * (1 - tolerance); got.UopsPerSec < floor {
+			failures = append(failures, fmt.Sprintf("%s: %.0f µops/s, below baseline %.0f -%d%% floor %.0f",
+				base.Name, got.UopsPerSec, base.UopsPerSec, int(tolerance*100), floor))
+		}
+		if got.SteadyAlloc > base.SteadyAlloc {
+			failures = append(failures, fmt.Sprintf("%s: %d steady-state allocs, baseline %d (arena invariant broken)",
+				base.Name, got.SteadyAlloc, base.SteadyAlloc))
+		}
+	}
+	if len(failures) == 0 {
+		return nil
+	}
+	msg := "bench gate failed:"
+	for _, f := range failures {
+		msg += "\n  " + f
+	}
+	return fmt.Errorf("%s", msg)
+}
+
+// runBenchMode handles -bench-out / -bench-baseline: measure the
+// suite, optionally persist the fresh numbers, optionally compare
+// against a committed baseline. Returns the process exit code.
+func runBenchMode(outPath, baselinePath string, tolerance float64) int {
+	fresh, err := runBenchSuite()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "wishbench: bench: %v\n", err)
+		return 1
+	}
+	if outPath != "" {
+		data, err := json.MarshalIndent(fresh, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "wishbench: bench: %v\n", err)
+			return 1
+		}
+		if err := os.WriteFile(outPath, append(data, '\n'), 0o666); err != nil {
+			fmt.Fprintf(os.Stderr, "wishbench: bench: %v\n", err)
+			return 1
+		}
+		fmt.Fprintf(os.Stderr, "wishbench: bench numbers written to %s\n", outPath)
+	}
+	if baselinePath != "" {
+		data, err := os.ReadFile(baselinePath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "wishbench: bench: %v\n", err)
+			return 1
+		}
+		var baseline BenchFile
+		if err := json.Unmarshal(data, &baseline); err != nil {
+			fmt.Fprintf(os.Stderr, "wishbench: bench: %s: %v\n", baselinePath, err)
+			return 1
+		}
+		if err := compareBench(&baseline, fresh, tolerance); err != nil {
+			fmt.Fprintf(os.Stderr, "wishbench: %v\n", err)
+			return 1
+		}
+		fmt.Fprintf(os.Stderr, "wishbench: bench gate passed against %s (tolerance %d%%)\n",
+			baselinePath, int(tolerance*100))
+	}
+	return 0
+}

@@ -41,8 +41,16 @@ func main() {
 		verbose  = flag.Bool("v", false, "log each simulation to stderr")
 		statsOut = flag.String("stats-out", "", "write every campaign run's stats snapshot as a JSON array to this file")
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile of the campaign to this file")
+
+		benchOut  = flag.String("bench-out", "", "run the host-throughput suite and write BENCH_*.json here (skips the campaign)")
+		benchBase = flag.String("bench-baseline", "", "run the host-throughput suite and gate it against this baseline file (skips the campaign)")
+		benchTol  = flag.Float64("bench-tolerance", 0.15, "allowed relative µops/sec regression for -bench-baseline")
 	)
 	flag.Parse()
+
+	if *benchOut != "" || *benchBase != "" {
+		os.Exit(runBenchMode(*benchOut, *benchBase, *benchTol))
+	}
 
 	if *cpuProf != "" {
 		f, err := os.Create(*cpuProf)

@@ -115,11 +115,13 @@ func main() {
 		// always simulates fresh instead of going through the store
 		// (cached records carry no events).
 		ring = obs.NewRing(*traceN)
+		t0 := time.Now()
 		res, err = spec.SimulateInstrumented(func(c *cpu.CPU) { c.AttachTrace(ring) })
+		elapsed := time.Since(t0)
 		if err != nil {
 			fail("run: %v", err)
 		}
-		printResult(*bench, in, v, res)
+		printResult(*bench, in, v, res, elapsed)
 	} else {
 		l := lab.New()
 		if *cacheDir != "" {
@@ -130,12 +132,18 @@ func main() {
 				l.Store = store
 			}
 		}
+		t0 := time.Now()
 		res, err = l.Result(spec)
+		elapsed := time.Since(t0)
 		if err != nil {
 			fail("run: %v", err)
 		}
-		printResult(*bench, in, v, res)
-		if c := l.Counters(); c.DiskHits > 0 {
+		fromStore := l.Counters().DiskHits > 0
+		if fromStore {
+			elapsed = 0 // store lookup, not a simulation: don't report throughput
+		}
+		printResult(*bench, in, v, res, elapsed)
+		if fromStore {
 			fmt.Printf("  (served from result store %s)\n", *cacheDir)
 		}
 	}
@@ -214,7 +222,7 @@ func parseVariant(s string) (compiler.Variant, error) {
 	return 0, fmt.Errorf("unknown variant %q", s)
 }
 
-func printResult(bench string, in workload.Input, v compiler.Variant, r *cpu.Result) {
+func printResult(bench string, in workload.Input, v compiler.Variant, r *cpu.Result, elapsed time.Duration) {
 	fmt.Printf("%s / %v / %v\n", bench, in, v)
 	fmt.Printf("  cycles            %12d\n", r.Cycles)
 	fmt.Printf("  retired µops      %12d (%.2f µPC)\n", r.RetiredUops, r.UPC())
@@ -245,9 +253,10 @@ func printResult(bench string, in workload.Input, v compiler.Variant, r *cpu.Res
 	}
 	fmt.Printf("  L1I %5.2f%%  L1D %5.2f%%  L2 %5.2f%% miss  (%d memory accesses)\n",
 		100*r.L1I.MissRate(), 100*r.L1D.MissRate(), 100*r.L2.MissRate(), r.Mem.Accesses)
-	if r.WallNanos > 0 {
+	if elapsed > 0 {
 		fmt.Printf("  simulated in %v (%.0f µops/s host throughput)\n",
-			time.Duration(r.WallNanos).Round(time.Millisecond), r.SimUopsPerSec())
+			elapsed.Round(time.Millisecond),
+			float64(r.RetiredUops)/elapsed.Seconds())
 	}
 }
 

@@ -1,7 +1,6 @@
 package cpu
 
 import (
-	"container/heap"
 	"fmt"
 
 	"wishbranch/internal/config"
@@ -15,8 +14,8 @@ import (
 // including the C-style conditional-expression or select-µop treatment
 // of predicated instructions (§2.1, §5.3.3).
 func (c *CPU) dispatch() {
-	for n := 0; n < c.cfg.FetchWidth && len(c.fetchQ) > 0; n++ {
-		u := c.fetchQ[0]
+	for n := 0; n < c.cfg.FetchWidth && c.fqCount > 0; n++ {
+		u := c.fqFront()
 		if u.dispReady > c.cycle {
 			return
 		}
@@ -29,7 +28,7 @@ func (c *CPU) dispatch() {
 			c.acctFull = true
 			return
 		}
-		c.fetchQ = c.fetchQ[1:]
+		c.fqPopFront()
 		c.rename(u)
 	}
 }
@@ -75,7 +74,7 @@ func (c *CPU) rename(u *uop) {
 		if in.Op != isa.OpLoad {
 			return
 		}
-		if w := c.storeWriter[u.addr>>3]; w != nil && !w.squashed && w.seq < u.seq {
+		if w := c.storeWriter.get(u.addr >> 3); w != nil && !w.squashed && w.seq < u.seq {
 			u.fwdStore = true
 			u.addDep(w) // store-to-load forwarding once the store executes
 		}
@@ -129,10 +128,9 @@ func (c *CPU) rename(u *uop) {
 		addIntSrcs()
 		addPredSrcs()
 		addLoadDeps()
-		sel = &uop{
-			seq: u.seq, pc: u.pc, inst: in, isSelect: true,
-			wrongPath: u.wrongPath, guardVal: u.guardVal,
-		}
+		sel = c.newUop()
+		sel.seq, sel.pc, sel.inst, sel.isSelect = u.seq, u.pc, in, true
+		sel.wrongPath, sel.guardVal = u.wrongPath, u.guardVal
 		sel.addDep(u)
 		sel.addDep(c.predWriter[in.Guard])
 		if in.WritesInt() {
@@ -185,7 +183,7 @@ func (c *CPU) rename(u *uop) {
 		}
 	}
 	if in.Op == isa.OpStore && u.guardVal {
-		c.storeWriter[u.addr>>3] = u
+		c.storeWriter.put(u.addr>>3, u)
 	}
 
 	c.robPush(u)
@@ -226,10 +224,12 @@ func (c *CPU) issue() {
 	for n := 0; n < c.cfg.IssueWidth && len(c.readyQ) > 0; {
 		u := c.readyQ.pop()
 		if u.squashed {
+			// Defensive: flush compacts the queue, so squashed entries
+			// should never surface here.
 			continue
 		}
 		u.doneCycle = c.execute(u)
-		heap.Push(&c.compQ, compEvent{u.doneCycle, u})
+		c.compQ.push(compEvent{u.doneCycle, u})
 		n++
 	}
 }
@@ -262,16 +262,20 @@ func (c *CPU) execute(u *uop) uint64 {
 
 // completions drains finished µops for this cycle, wakes dependents,
 // and resolves branches that require recovery decisions, oldest first.
+// The resolve batch is a reused scratch slice: a batch entry squashed
+// (and therefore pool-recycled) by an older entry's flush is skipped
+// via its squashed flag, which stays readable until the pool hands the
+// µop out again — reallocation only happens in later pipeline stages.
 func (c *CPU) completions() {
-	var resolved []*uop
 	for len(c.compQ) > 0 && c.compQ[0].cycle <= c.cycle {
-		e := heap.Pop(&c.compQ).(compEvent)
+		e := c.compQ.pop()
 		u := e.u
 		if u.squashed {
-			continue
+			continue // defensive: flush compacts the queue
 		}
 		u.done = true
-		for _, d := range u.dependents {
+		deps := u.dependents
+		for _, d := range deps {
 			if d.squashed || d.done {
 				continue
 			}
@@ -280,22 +284,32 @@ func (c *CPU) completions() {
 				c.readyQ.push(d)
 			}
 		}
-		u.dependents = nil
-		if (u.mispredict || u.deferred) && !u.wrongPath {
-			resolved = append(resolved, u)
+		for i := range deps {
+			deps[i] = nil
 		}
+		u.dependents = deps[:0] // keep the chunk for reuse after recycling
+		if (u.mispredict || u.deferred) && !u.wrongPath {
+			c.resolved = append(c.resolved, u)
+		}
+	}
+	if len(c.resolved) == 0 {
+		return
 	}
 	// Oldest first: an older flush squashes younger resolutions.
-	for i := 1; i < len(resolved); i++ {
-		for j := i; j > 0 && resolved[j].seq < resolved[j-1].seq; j-- {
-			resolved[j], resolved[j-1] = resolved[j-1], resolved[j]
+	for i := 1; i < len(c.resolved); i++ {
+		for j := i; j > 0 && c.resolved[j].seq < c.resolved[j-1].seq; j-- {
+			c.resolved[j], c.resolved[j-1] = c.resolved[j-1], c.resolved[j]
 		}
 	}
-	for _, u := range resolved {
+	for _, u := range c.resolved {
 		if !u.squashed {
 			c.resolve(u)
 		}
 	}
+	for i := range c.resolved {
+		c.resolved[i] = nil
+	}
+	c.resolved = c.resolved[:0]
 }
 
 // resolve implements the branch misprediction detection/recovery module
@@ -333,7 +347,10 @@ func (c *CPU) resolve(u *uop) {
 }
 
 // flush squashes everything younger than u, repairs front-end state,
-// and redirects fetch to redirectPC.
+// redirects fetch to redirectPC, and recycles every squashed µop: the
+// scheduler queues are compacted and the surviving window's dependent
+// lists scrubbed first, so nothing in the machine can reach a pooled
+// µop afterwards.
 func (c *CPU) flush(u *uop, redirectPC int, noExit bool) {
 	c.res.Flushes++
 	squashedBefore := c.res.Squashed
@@ -357,18 +374,41 @@ func (c *CPU) flush(u *uop, redirectPC int, noExit bool) {
 		c.robTail = i
 		c.robCount--
 		c.res.Squashed++
+		c.squashBuf = append(c.squashBuf, v)
 	}
-	for _, q := range c.fetchQ {
+	// Fetch-queue µops were never renamed, so nothing references them:
+	// straight back to the pool.
+	for c.fqCount > 0 {
+		q := c.fqPopFront()
 		q.squashed = true
 		c.res.Squashed++
+		c.pool.put(q)
 	}
-	c.fetchQ = c.fetchQ[:0]
 
-	// Rebuild fetch-order rename state from the surviving window.
+	// Scrub every remaining reference to the squashed window tail, then
+	// recycle it: scheduler queues first, then the survivors' dependent
+	// lists (dependents are always younger, so squashed entries can hide
+	// anywhere in them).
+	c.readyQ.compact()
+	c.compQ.compact()
+
+	// Rebuild fetch-order rename state from the surviving window, and
+	// scrub dependent lists in the same pass.
 	c.intWriter = [isa.NumIntRegs]*uop{}
 	c.predWriter = [isa.NumPredRegs]*uop{}
-	c.storeWriter = make(map[uint64]*uop)
+	c.storeWriter.reset()
 	c.robFor(func(v *uop) {
+		k := 0
+		for _, d := range v.dependents {
+			if !d.squashed {
+				v.dependents[k] = d
+				k++
+			}
+		}
+		for i := k; i < len(v.dependents); i++ {
+			v.dependents[i] = nil
+		}
+		v.dependents = v.dependents[:k]
 		in := v.inst
 		if c.updatesWriters(v) {
 			if in.WritesInt() {
@@ -384,9 +424,14 @@ func (c *CPU) flush(u *uop, redirectPC int, noExit bool) {
 			}
 		}
 		if in.Op == isa.OpStore && v.guardVal && !v.isSelect {
-			c.storeWriter[v.addr>>3] = v
+			c.storeWriter.put(v.addr>>3, v)
 		}
 	})
+	for i, v := range c.squashBuf {
+		c.pool.put(v)
+		c.squashBuf[i] = nil
+	}
+	c.squashBuf = c.squashBuf[:0]
 
 	// Predictor repair.
 	switch {
@@ -411,9 +456,8 @@ func (c *CPU) flush(u *uop, redirectPC int, noExit bool) {
 	c.mode = ModeNormal
 	c.lowConfTarget = -1
 	c.lowConfLoopPC = -1
-	for k := range c.elim {
-		delete(c.elim, k)
-	}
+	c.elimValid = [isa.NumPredRegs]bool{}
+	c.elimVal = [isa.NumPredRegs]bool{}
 	if noExit {
 		// The front end now exits the loop; record it so younger
 		// deferred instances (already squashed) cannot misclassify.
@@ -441,7 +485,8 @@ func (c *CPU) flush(u *uop, redirectPC int, noExit bool) {
 	}
 }
 
-// retire commits up to RetireWidth completed µops in order.
+// retire commits up to RetireWidth completed µops in order, returning
+// each to the pool once its writer-table references are cleared.
 func (c *CPU) retire() {
 	for n := 0; n < c.cfg.RetireWidth && c.robCount > 0; n++ {
 		u := c.rob[c.robHead]
@@ -459,8 +504,28 @@ func (c *CPU) retire() {
 		c.robHead = (c.robHead + 1) % len(c.rob)
 		c.robCount--
 		c.retireUop(u)
+		c.pool.put(u)
 		if c.res.Halted {
 			return
+		}
+	}
+}
+
+// clearWriters removes u from the rename writer tables at retire. A
+// retired writer is semantically inert (addDep skips done producers),
+// so this changes no schedule — it only makes the µop unreachable and
+// therefore safe to recycle.
+func (c *CPU) clearWriters(u *uop) {
+	in := u.inst
+	if in.WritesInt() && c.intWriter[in.Dst] == u {
+		c.intWriter[in.Dst] = nil
+	}
+	if in.WritesPred() {
+		if in.PDst != isa.PNone && in.PDst != isa.P0 && c.predWriter[in.PDst] == u {
+			c.predWriter[in.PDst] = nil
+		}
+		if in.PDst2 != isa.PNone && in.PDst2 != isa.P0 && c.predWriter[in.PDst2] == u {
+			c.predWriter[in.PDst2] = nil
 		}
 	}
 }
@@ -468,6 +533,7 @@ func (c *CPU) retire() {
 func (c *CPU) retireUop(u *uop) {
 	c.res.RetiredUops++
 	in := u.inst
+	c.clearWriters(u)
 
 	// Accounting: count this retire, classify it as useful work or
 	// predication overhead, and end flush recovery once post-flush
@@ -496,9 +562,7 @@ func (c *CPU) retireUop(u *uop) {
 
 	if in.Op == isa.OpStore && u.guardVal {
 		c.hier.AccessD(u.addr, c.cycle, true)
-		if c.storeWriter[u.addr>>3] == u {
-			delete(c.storeWriter, u.addr>>3)
-		}
+		c.storeWriter.del(u.addr>>3, u)
 	}
 
 	if u.isCond {

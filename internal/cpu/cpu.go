@@ -14,11 +14,20 @@
 // state (mirroring the paper's Pin-based wrong-path trace threads), and
 // low-confidence wish-branch paths are followed directly, since
 // predication makes both directions architecturally equivalent.
+//
+// The host-side hot path is engineered to be allocation-free in steady
+// state and to skip dead cycles in bulk (DESIGN.md §10): µops come
+// from a per-CPU pool recycled at retire and flush, the scheduler runs
+// on concrete heaps and flat tables instead of interfaces and maps,
+// and Run jumps the cycle counter straight to the next event when no
+// pipeline stage can make progress. All of this is observationally
+// invisible — results are bit-identical to the one-cycle-at-a-time
+// reference mode (SetCycleSkipping), which the equivalence suites
+// enforce.
 package cpu
 
 import (
 	"fmt"
-	"time"
 
 	"wishbranch/internal/bpred"
 	"wishbranch/internal/cache"
@@ -36,8 +45,9 @@ type CPU struct {
 	cfg  *config.Machine
 	prog *prog.Program
 
-	st     *emu.State  // fetch-order architectural state (correct path)
-	shadow *emu.Shadow // active while fetching a wrong path
+	st        *emu.State  // fetch-order architectural state (correct path)
+	shadow    *emu.Shadow // active while fetching a wrong path
+	shadowBuf *emu.Shadow // reusable shadow storage (one wrong path at a time)
 
 	hier *cache.Hierarchy
 	bp   *bpred.Hybrid
@@ -58,35 +68,49 @@ type CPU struct {
 
 	// Wish-branch front-end state (Figure 8 state machine).
 	mode          Mode
-	lowConfTarget int                       // jump/join low-conf region exit PC (-1 = none)
-	lowConfLoopPC int                       // static PC of the wish loop holding low-conf mode (-1)
-	elim          map[isa.PReg]bool         // predicate dependency elimination buffer
-	predPair      [isa.NumPredRegs]isa.PReg // complement pairing from last defining cmp
-	lastLoopPred  map[int]bool              // per-static-wish-loop last fetched prediction
-	// loopGen counts, per static wish loop, how many times the front end
-	// has left the loop. A deferred (extra-iteration) instance whose
-	// generation is stale resolves as late-exit: the front end exited
-	// (and possibly re-entered) the loop, so there is nothing to flush.
-	// The paper's hardware would unnecessarily flush on re-entry
+	lowConfTarget int // jump/join low-conf region exit PC (-1 = none)
+	lowConfLoopPC int // static PC of the wish loop holding low-conf mode (-1)
+	// Predicate dependency elimination buffer (§3.5.3), kept as flat
+	// per-register arrays: the buffer is consulted for every guarded
+	// µop fetched.
+	elimValid [isa.NumPredRegs]bool
+	elimVal   [isa.NumPredRegs]bool
+	predPair  [isa.NumPredRegs]isa.PReg // complement pairing from last defining cmp
+	// lastLoopPred holds, per static wish-loop PC, the last fetched
+	// prediction; loopGen counts how many times the front end has left
+	// each loop. A deferred (extra-iteration) instance whose generation
+	// is stale resolves as late-exit: the front end exited (and
+	// possibly re-entered) the loop, so there is nothing to flush. The
+	// paper's hardware would unnecessarily flush on re-entry
 	// (footnote 8); an execution-driven model must not, because the
-	// correct path has executed real work past the loop by then.
-	loopGen map[int]uint64
+	// correct path has executed real work past the loop by then. Both
+	// are dense arrays indexed by static PC — programs are small and
+	// PC-dense, so this is a plain load where a map hit used to be.
+	lastLoopPred []bool
+	loopGen      []uint64
 
-	// Queues and window.
-	fetchQ    []*uop
-	fetchQCap int
-	rob       []*uop // ring buffer
-	robHead   int
-	robTail   int
-	robCount  int
+	// Queues and window. The fetch queue is a fixed ring (capacity is
+	// the front-end depth in µops); the window is a ring as before.
+	fq       []*uop
+	fqHead   int
+	fqCount  int
+	rob      []*uop // ring buffer
+	robHead  int
+	robTail  int
+	robCount int
 
 	// Fetch-order rename state.
 	intWriter   [isa.NumIntRegs]*uop
 	predWriter  [isa.NumPredRegs]*uop
-	storeWriter map[uint64]*uop
+	storeWriter *storeTab
 
 	readyQ seqHeap
 	compQ  compHeap
+
+	pool      uopPool
+	resolved  []*uop // scratch for completions' resolve batch
+	squashBuf []*uop // scratch for flush's squashed-window batch
+	skipOff   bool   // disable event-driven cycle skipping (reference mode)
 
 	res Result
 
@@ -106,14 +130,16 @@ type CPU struct {
 
 	// Internal diagnostics, maintained cheaply every run: cumulative
 	// branch resolution delay (flush-penalty decomposition), cycles the
-	// window was full at dispatch, and retire-blocked cycles by the
-	// head µop's opcode. Not part of Result, but repeatedly the fastest
-	// way to localize a performance anomaly (see DESIGN.md §7).
+	// window was full at dispatch, retire-blocked cycles by the head
+	// µop's opcode, and cycles elided by event skipping. Not part of
+	// Result, but repeatedly the fastest way to localize a performance
+	// anomaly (see DESIGN.md §7).
 	dbgResolveDelay uint64
 	dbgResolveCnt   uint64
 	dbgRobFull      uint64
 	dbgHeadBlock    [32]uint64
 	dbgHeadUndisp   uint64
+	dbgSkipped      uint64
 }
 
 // New builds a simulator for program p under machine cfg. The initial
@@ -142,13 +168,12 @@ func New(cfg *config.Machine, p *prog.Program, init func(*emu.Memory)) (*CPU, er
 		mode:          ModeNormal,
 		lowConfTarget: -1,
 		lowConfLoopPC: -1,
-		elim:          make(map[isa.PReg]bool),
-		lastLoopPred:  make(map[int]bool),
-		loopGen:       make(map[int]uint64),
-		fetchQCap:     cfg.FrontEndDepth*cfg.FetchWidth + cfg.FetchWidth,
+		lastLoopPred:  make([]bool, len(p.Code)),
+		loopGen:       make([]uint64, len(p.Code)),
+		fq:            make([]*uop, cfg.FrontEndDepth*cfg.FetchWidth+cfg.FetchWidth),
 		rob:           make([]*uop, cfg.ROBSize),
-		storeWriter:   make(map[uint64]*uop),
-		brTab:         obs.NewBranchTable(),
+		storeWriter:   newStoreTab(cfg.ROBSize),
+		brTab:         obs.NewBranchTableN(len(p.Code)),
 	}
 	if cfg.UseLoopPredictor {
 		c.lp = bpred.NewLoopPredictor(cfg.LoopPredEntries)
@@ -160,33 +185,153 @@ func New(cfg *config.Machine, p *prog.Program, init func(*emu.Memory)) (*CPU, er
 	return c, nil
 }
 
+// SetCycleSkipping toggles event-driven cycle skipping (on by
+// default). Skipping is a pure host-side optimization: results are
+// bit-identical either way, which TestCycleSkipEquivalence enforces
+// across the full workload × variant × machine sweep. The
+// one-cycle-at-a-time reference mode exists for that test and for
+// debugging.
+func (c *CPU) SetCycleSkipping(on bool) { c.skipOff = !on }
+
 // Run simulates until the program's HALT retires or maxCycles elapse
 // (0 = default limit of 2^40 cycles). It returns the collected result;
-// an error means the cycle limit was hit.
+// an error means the cycle limit was hit. Run does not measure host
+// time: the result is a pure function of the program and machine
+// configuration (callers that want wall-clock throughput time the call
+// themselves).
 func (c *CPU) Run(maxCycles uint64) (*Result, error) {
 	if maxCycles == 0 {
 		maxCycles = 1 << 40
 	}
-	start := time.Now()
 	for !c.res.Halted {
 		if c.cycle >= maxCycles {
+			c.res.Cycles = c.cycle
 			c.finishRun()
-			c.res.WallNanos = time.Since(start).Nanoseconds()
 			return &c.res, fmt.Errorf("cpu: cycle limit %d reached (pc=%d, retired=%d)",
 				maxCycles, c.st.PC, c.res.RetiredUops)
 		}
-		c.completions()
-		c.retire()
-		c.issue()
-		c.dispatch()
-		c.fetch()
-		c.account()
-		c.cycle++
+		c.stepOrSkip(maxCycles)
 	}
 	c.res.Cycles = c.cycle
 	c.finishRun()
-	c.res.WallNanos = time.Since(start).Nanoseconds()
 	return &c.res, nil
+}
+
+// Advance runs the pipeline for up to n more cycles and reports
+// whether the program has halted. Unlike Run it performs no
+// end-of-run flattening, so a steady-state window advanced this way
+// allocates nothing — it exists for the host-performance suite
+// (TestSteadyStateZeroAlloc, bench_test.go); call Run afterwards to
+// finish the simulation and collect the result.
+func (c *CPU) Advance(n uint64) bool {
+	limit := c.cycle + n
+	for !c.res.Halted && c.cycle < limit {
+		c.stepOrSkip(limit)
+	}
+	return c.res.Halted
+}
+
+// stepOrSkip advances the simulation by one live cycle, or jumps over
+// a maximal run of dead cycles in one step. limit caps the jump so
+// cycle-limit truncation behaves identically in both modes.
+func (c *CPU) stepOrSkip(limit uint64) {
+	if !c.skipOff {
+		if n := c.skippable(limit); n > 0 {
+			c.bulkAccount(n)
+			return
+		}
+	}
+	c.completions()
+	c.retire()
+	c.issue()
+	c.dispatch()
+	c.fetch()
+	c.account()
+	c.cycle++
+}
+
+// skippable returns how many cycles can be skipped from the current
+// one, or 0 if any pipeline stage has work this cycle. A cycle is dead
+// when no completion event is due, the window head cannot retire,
+// nothing is ready to issue, the fetch queue is empty, and fetch is
+// stalled (I-cache miss, BTB bubble, HALT, or a stuck wrong path).
+// During a dead stretch the machine state is frozen except for the
+// cycle counter, so the per-cycle accounting attribution is constant —
+// bulkAccount exploits exactly that. The jump target is the earliest
+// future event: the next completion, the fetch-resume cycle (also an
+// attribution boundary: structural → fetch-stall), or the caller's
+// cycle limit.
+func (c *CPU) skippable(limit uint64) uint64 {
+	if len(c.compQ) > 0 && c.compQ[0].cycle <= c.cycle {
+		return 0
+	}
+	if c.robCount > 0 && c.rob[c.robHead].done {
+		return 0
+	}
+	if len(c.readyQ) > 0 || c.fqCount > 0 {
+		return 0
+	}
+	if !c.fetchHalted && c.cycle >= c.nextFetch && !c.shadowStuck() {
+		return 0
+	}
+	target := limit
+	if len(c.compQ) > 0 && c.compQ[0].cycle < target {
+		target = c.compQ[0].cycle
+	}
+	if c.cycle < c.nextFetch && c.nextFetch < target {
+		target = c.nextFetch
+	}
+	if target <= c.cycle {
+		return 0
+	}
+	return target - c.cycle
+}
+
+// shadowStuck reports that wrong-path fetch cannot produce µops: the
+// shadow ran into HALT or off the program. Only the pending flush can
+// unstick it, so fetch is not "active" for skipping purposes.
+func (c *CPU) shadowStuck() bool {
+	if c.shadow == nil {
+		return false
+	}
+	if c.shadow.Halted() {
+		return true
+	}
+	pc := c.shadow.PC()
+	return pc < 0 || pc >= len(c.prog.Code)
+}
+
+// bulkAccount attributes n skipped cycles at once, choosing the same
+// bucket account() would have chosen for each of them: nothing retired
+// (acctRetired = 0), dispatch never blocked (acctFull = false), and
+// every input to the decision tree is frozen for the whole stretch.
+// Both partition identities are preserved exactly — the flush-recovery
+// charge goes to the same branch record, in the same amount, as n
+// single-cycle account() calls would post.
+func (c *CPU) bulkAccount(n uint64) {
+	var b obs.Bucket
+	switch {
+	case c.recoverRec != nil:
+		b = obs.FlushRecovery
+		c.recoverRec.FlushCycles += n
+	case c.robCount == 0:
+		if c.fqCount == 0 && c.cycle < c.nextFetch {
+			b = obs.Structural
+		} else {
+			b = obs.FetchStall
+		}
+	default:
+		head := c.rob[c.robHead]
+		if head.isSelect || (head.inst.Guard != isa.P0 && !head.inst.IsBranch()) {
+			b = obs.PredSerial
+		} else {
+			b = obs.ExecLatency
+		}
+		c.dbgHeadBlock[head.inst.Op] += n
+	}
+	c.res.Acct.Buckets[b] += n
+	c.dbgSkipped += n
+	c.cycle += n
 }
 
 // account closes the cycle for the observability layer: it attributes
@@ -210,7 +355,7 @@ func (c *CPU) account() {
 		b = obs.FlushRecovery
 		c.recoverRec.FlushCycles++
 	case c.robCount == 0:
-		if len(c.fetchQ) == 0 && c.cycle < c.nextFetch {
+		if c.fqCount == 0 && c.cycle < c.nextFetch {
 			b = obs.Structural // I-cache miss or BTB decode bubble
 		} else {
 			b = obs.FetchStall // front-end pipeline fill
@@ -259,6 +404,38 @@ func (c *CPU) Mode() Mode { return c.mode }
 // forced wish-branch directions, flush repositioning) never corrupts
 // architecture.
 func (c *CPU) ArchState() *emu.State { return c.st }
+
+// newUop allocates a reset µop from the pool.
+func (c *CPU) newUop() *uop { return c.pool.get() }
+
+// fqPush appends to the fetch queue; callers check capacity first
+// (fetch's own queue-full test), so overflow is a programming error.
+func (c *CPU) fqPush(u *uop) {
+	if c.fqCount == len(c.fq) {
+		panic("cpu: fetch queue overflow")
+	}
+	i := c.fqHead + c.fqCount
+	if i >= len(c.fq) {
+		i -= len(c.fq)
+	}
+	c.fq[i] = u
+	c.fqCount++
+}
+
+// fqFront returns the oldest queued µop; caller checks fqCount.
+func (c *CPU) fqFront() *uop { return c.fq[c.fqHead] }
+
+// fqPopFront removes and returns the oldest queued µop.
+func (c *CPU) fqPopFront() *uop {
+	u := c.fq[c.fqHead]
+	c.fq[c.fqHead] = nil
+	c.fqHead++
+	if c.fqHead == len(c.fq) {
+		c.fqHead = 0
+	}
+	c.fqCount--
+	return u
+}
 
 // robPush appends to the window; caller must ensure space.
 func (c *CPU) robPush(u *uop) {

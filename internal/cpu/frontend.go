@@ -22,7 +22,7 @@ func (c *CPU) fetch() {
 	budget := c.cfg.FetchWidth
 	condBudget := c.cfg.MaxCondBrPerCycle
 	for budget > 0 && condBudget > 0 {
-		if len(c.fetchQ) >= c.fetchQCap {
+		if c.fqCount >= len(c.fq) {
 			return
 		}
 		var pc int
@@ -62,7 +62,9 @@ func (c *CPU) fetch() {
 		}
 
 		inst := &c.prog.Code[pc]
-		u := &uop{seq: c.seq, pc: pc, inst: inst, wrongPath: c.shadow != nil, mode: c.mode, fetchCycle: c.cycle}
+		u := c.newUop()
+		u.seq, u.pc, u.inst = c.seq, pc, inst
+		u.wrongPath, u.mode, u.fetchCycle = c.shadow != nil, c.mode, c.cycle
 		c.seq++
 
 		endGroup := false
@@ -86,10 +88,10 @@ func (c *CPU) fetch() {
 			}
 			// Predicate dependency elimination: record a hit before any
 			// redefinition by this very instruction (§3.5.3).
-			if g := inst.Guard; g != isa.P0 {
-				if v, ok := c.elim[g]; ok {
+			if g := inst.Guard; g != isa.P0 && g < isa.NumPredRegs {
+				if c.elimValid[g] {
 					u.predElim = true
-					u.predElimVal = v
+					u.predElimVal = c.elimVal[g]
 				}
 			}
 			if inst.WritesPred() {
@@ -99,6 +101,7 @@ func (c *CPU) fetch() {
 			// NO-FETCH oracle: predicated-false µops are ideally removed
 			// and consume no fetch, window, or execution resources.
 			if c.shadow == nil && c.cfg.NoFalseFetch && !stp.GuardTrue && inst.Op != isa.OpHalt {
+				c.pool.put(u) // never entered any queue; no references exist
 				continue
 			}
 		}
@@ -112,7 +115,7 @@ func (c *CPU) fetch() {
 			c.ring.Record(obs.Event{Cycle: c.cycle, Seq: u.seq, PC: u.pc, Kind: obs.EvFetch, Arg: arg})
 		}
 		u.dispReady = c.cycle + uint64(c.cfg.FrontEndDepth)
-		c.fetchQ = append(c.fetchQ, u)
+		c.fqPush(u)
 		budget--
 		if endGroup {
 			return
@@ -409,7 +412,11 @@ func (c *CPU) startWrongPath(u *uop, wrongPC, actualPC int) {
 	u.mispredict = true
 	u.flushPC = actualPC
 	c.pendingFlush = u
-	c.shadow = c.st.Fork(wrongPC)
+	if c.shadowBuf == nil {
+		c.shadowBuf = new(emu.Shadow)
+	}
+	c.st.ForkInto(c.shadowBuf, wrongPC)
+	c.shadow = c.shadowBuf
 }
 
 // exitLowLoop leaves low-confidence loop mode when the loop exits
@@ -428,23 +435,23 @@ func (c *CPU) exitLowLoop(pc int) {
 // predicate was produced by a paired compare (IA-64 style cmp writing
 // p,!p), which the wish jump/join code of Figure 3 relies on.
 func (c *CPU) elimSet(p isa.PReg, val bool) {
-	if p == isa.P0 || p == isa.PNone {
+	if p == isa.P0 || p >= isa.NumPredRegs {
 		return
 	}
-	c.elim[p] = val
-	if q := c.predPair[p]; q != isa.PNone && q != isa.P0 {
-		c.elim[q] = !val
+	c.elimValid[p], c.elimVal[p] = true, val
+	if q := c.predPair[p]; q != isa.P0 && q < isa.NumPredRegs {
+		c.elimValid[q], c.elimVal[q] = true, !val
 	}
 }
 
 // elimInvalidate clears buffer entries for predicates redefined by a
 // newly decoded instruction (§3.5.3 reset rule).
 func (c *CPU) elimInvalidate(in *isa.Inst) {
-	if in.PDst != isa.PNone {
-		delete(c.elim, in.PDst)
+	if in.PDst != isa.PNone && in.PDst < isa.NumPredRegs {
+		c.elimValid[in.PDst] = false
 	}
-	if in.PDst2 != isa.PNone {
-		delete(c.elim, in.PDst2)
+	if in.PDst2 != isa.PNone && in.PDst2 < isa.NumPredRegs {
+		c.elimValid[in.PDst2] = false
 	}
 }
 

@@ -1,0 +1,110 @@
+package cpu
+
+import (
+	"reflect"
+	"testing"
+
+	"wishbranch/internal/compiler"
+	"wishbranch/internal/config"
+	"wishbranch/internal/workload"
+)
+
+// TestCycleSkipEquivalence is the soundness property behind
+// event-driven cycle skipping (DESIGN.md §10): for every workload ×
+// compiler variant × machine configuration, a run with skipping
+// enabled must produce a Result deeply identical to the forced
+// one-cycle-at-a-time reference run — same cycle count, all eight
+// stall buckets, per-branch flush attribution, cache stats, and wish
+// classification. Any skip-predicate or bulk-attribution bug that
+// elides a live cycle or posts to a different bucket fails here.
+func TestCycleSkipEquivalence(t *testing.T) {
+	scale := 0.1
+	benches := workload.All()
+	if testing.Short() {
+		scale = 0.05
+		benches = benches[:3]
+	}
+	for _, b := range benches {
+		src, mem := b.Build(workload.InputA, scale)
+		for _, v := range compiler.Variants() {
+			p, err := compiler.Compile(src, v)
+			if err != nil {
+				t.Fatalf("%s/%v: %v", b.Name, v, err)
+			}
+			for _, m := range acctMachines() {
+				label := b.Name + "/" + v.String() + "/" + m.Name
+				run := func(skip bool) *Result {
+					c, err := New(m, p, mem)
+					if err != nil {
+						t.Fatalf("%s: %v", label, err)
+					}
+					c.SetCycleSkipping(skip)
+					res, err := c.Run(0)
+					if err != nil {
+						t.Fatalf("%s (skip=%v): %v", label, skip, err)
+					}
+					return res
+				}
+				ref := run(false)
+				opt := run(true)
+				if !reflect.DeepEqual(ref, opt) {
+					t.Errorf("%s: cycle skipping changed the result\nreference: %+v\nskipping:  %+v",
+						label, ref, opt)
+				}
+			}
+		}
+	}
+}
+
+// TestCycleSkipTruncationEquivalence: a run truncated by the cycle
+// limit must also be identical in both modes — the skip jump is capped
+// at the limit, so truncation lands on the same cycle with the same
+// attribution.
+func TestCycleSkipTruncationEquivalence(t *testing.T) {
+	b, _ := workload.ByName("gzip")
+	src, mem := b.Build(workload.InputA, 0.1)
+	p := compiler.MustCompile(src, compiler.WishJumpJoinLoop)
+	for _, limit := range []uint64{500, 4096, 100000} {
+		run := func(skip bool) *Result {
+			c, err := New(config.DefaultMachine(), p, mem)
+			if err != nil {
+				t.Fatal(err)
+			}
+			c.SetCycleSkipping(skip)
+			res, _ := c.Run(limit) // cycle-limit error expected for small limits
+			return res
+		}
+		ref := run(false)
+		opt := run(true)
+		if !reflect.DeepEqual(ref, opt) {
+			t.Errorf("limit %d: cycle skipping changed the truncated result\nreference: %+v\nskipping:  %+v",
+				limit, ref, opt)
+		}
+	}
+}
+
+// TestCycleSkippingActuallySkips guards the optimization itself: on
+// the default machine a real workload has long dead stretches (L2
+// misses with an empty pipeline), so a run must elide a nontrivial
+// number of cycles — a regression that silently disables skipping
+// (skippable always 0) would otherwise look like a pure slowdown and
+// escape the correctness suites.
+func TestCycleSkippingActuallySkips(t *testing.T) {
+	b, _ := workload.ByName("mcf") // pointer-chasing: many full-pipeline stalls
+	src, mem := b.Build(workload.InputA, 0.1)
+	p := compiler.MustCompile(src, compiler.NormalBranch)
+	c, err := New(config.DefaultMachine(), p, mem)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.Run(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.dbgSkipped == 0 {
+		t.Errorf("no cycles were skipped over %d total", res.Cycles)
+	}
+	if c.dbgSkipped >= res.Cycles {
+		t.Errorf("skipped %d of %d cycles: more than total", c.dbgSkipped, res.Cycles)
+	}
+}

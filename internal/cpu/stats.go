@@ -53,13 +53,12 @@ type Result struct {
 	// FlushCycles sum exactly to Acct.Buckets[obs.FlushRecovery].
 	Branches []obs.BranchStat `json:",omitempty"`
 
-	Halted bool // program ran to completion
-
-	// WallNanos is the host wall-clock time the simulation took, in
-	// nanoseconds. It is a measurement of the simulator, not of the
-	// simulated machine: deterministic outputs (tables, figures) must
-	// not depend on it.
-	WallNanos int64
+	// Halted reports the program ran to completion. Result carries no
+	// host-side timing: Run's output is a pure function of the program
+	// and machine configuration, so stored records are byte-identical
+	// across re-runs. Callers that want wall-clock throughput time the
+	// Run call themselves.
+	Halted bool
 }
 
 // UPC returns retired µops per cycle.
@@ -91,15 +90,6 @@ func (r *Result) WishPer1M(count uint64) float64 {
 		return 0
 	}
 	return 1e6 * float64(count) / float64(r.RetiredUops)
-}
-
-// SimUopsPerSec returns the simulator's host-side throughput: retired
-// µops per wall-clock second. Zero if the run was not timed.
-func (r *Result) SimUopsPerSec() float64 {
-	if r.WallNanos <= 0 {
-		return 0
-	}
-	return float64(r.RetiredUops) / (float64(r.WallNanos) / 1e9)
 }
 
 // snapshotTopBranches bounds the per-branch attribution list exported

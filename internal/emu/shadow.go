@@ -21,9 +21,23 @@ type Shadow struct {
 // Fork returns a Shadow positioned at µop index pc, seeded with the
 // state's current register and predicate values.
 func (s *State) Fork(pc int) *Shadow {
-	sh := &Shadow{base: s, regs: s.Regs, preds: s.Preds, pc: pc}
-	sh.preds[isa.P0] = true
+	sh := new(Shadow)
+	s.ForkInto(sh, pc)
 	return sh
+}
+
+// ForkInto re-seeds an existing Shadow in place (same semantics as
+// Fork). The overlay's bucket storage is retained across forks, so a
+// simulator that reuses one Shadow per wrong path allocates nothing
+// once the overlay has grown to its working-set size.
+func (s *State) ForkInto(sh *Shadow, pc int) {
+	sh.base = s
+	sh.regs = s.Regs
+	sh.preds = s.Preds
+	sh.preds[isa.P0] = true
+	sh.pc = pc
+	sh.halted = false
+	clear(sh.overlay)
 }
 
 func (sh *Shadow) reg(r isa.Reg) int64 {

@@ -105,11 +105,13 @@ func (l *Lab) Result(s Spec) (*cpu.Result, error) {
 func (l *Lab) produce(s Spec, key string) (*cpu.Result, error) {
 	if l.Store != nil {
 		if r := l.Store.Get(key); r != nil {
-			l.note(s, r, &l.c.DiskHits, "hit")
+			l.note(s, r, 0, &l.c.DiskHits, "hit")
 			return r, nil
 		}
 	}
+	t0 := time.Now()
 	res, err := s.Simulate()
+	simTime := time.Since(t0)
 	if err != nil {
 		l.mu.Lock()
 		l.c.Errors++
@@ -123,13 +125,16 @@ func (l *Lab) produce(s Spec, key string) (*cpu.Result, error) {
 			l.mu.Unlock()
 		}
 	}
-	l.note(s, res, &l.c.Fresh, "ran")
+	l.note(s, res, simTime, &l.c.Fresh, "ran")
 	return res, nil
 }
 
-// note bumps a counter and emits one progress line. The counter
-// pointer must be a field of l.c so the bump happens under l.mu.
-func (l *Lab) note(s Spec, r *cpu.Result, counter *uint64, verb string) {
+// note bumps a counter and emits one progress line. simTime is the
+// host wall-clock the simulation took (zero for store hits): results
+// themselves carry no host timing, so the caller that ran the
+// simulation measures it. The counter pointer must be a field of l.c
+// so the bump happens under l.mu.
+func (l *Lab) note(s Spec, r *cpu.Result, simTime time.Duration, counter *uint64, verb string) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	*counter++
@@ -144,7 +149,7 @@ func (l *Lab) note(s Spec, r *cpu.Result, counter *uint64, verb string) {
 	}
 	fmt.Fprintf(l.Log, "[%d runs (%d fresh, %d cached), %.1f sims/s] %s %-40s %10d cycles  %.2f µPC  %s\n",
 		c.Runs(), c.Fresh, c.DiskHits, rate, verb, s.String(), r.Cycles, r.UPC(),
-		time.Duration(r.WallNanos).Round(time.Millisecond))
+		simTime.Round(time.Millisecond))
 }
 
 // Summary renders the campaign counters as one line.

@@ -2,6 +2,7 @@ package lab
 
 import (
 	"bytes"
+	"reflect"
 	"strings"
 	"sync"
 	"testing"
@@ -152,16 +153,20 @@ func TestLabProgressLog(t *testing.T) {
 	}
 }
 
-func TestLabResultsCarryWallClock(t *testing.T) {
-	l := New()
-	r, err := l.Result(cheapSpec())
+// TestLabResultsDeterministic: cpu.Result carries no host-side
+// measurements (wall-clock moved to the callers), so two fresh runs of
+// the same spec must be deeply identical — the property that lets the
+// store persist results without any sanitization step.
+func TestLabResultsDeterministic(t *testing.T) {
+	r1, err := New().Result(cheapSpec())
 	if err != nil {
 		t.Fatal(err)
 	}
-	if r.WallNanos <= 0 {
-		t.Error("fresh result has no wall-clock measurement")
+	r2, err := New().Result(cheapSpec())
+	if err != nil {
+		t.Fatal(err)
 	}
-	if r.SimUopsPerSec() <= 0 {
-		t.Error("µop throughput not derivable")
+	if !reflect.DeepEqual(r1, r2) {
+		t.Errorf("fresh results differ across runs:\n%+v\nvs\n%+v", r1, r2)
 	}
 }

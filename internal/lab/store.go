@@ -80,29 +80,19 @@ func (s *Store) Get(key string) *cpu.Result {
 	return rec.Result
 }
 
-// sanitize strips host-side measurements from a result before it is
-// persisted. A stored record is addressed purely by its spec key, so
-// its bytes must be a function of the key alone: wall-clock time (and
-// everything derived from it) varies run to run and would make a warm
-// re-run write a different record for an identical simulation.
-func sanitize(r *cpu.Result) *cpu.Result {
-	clean := *r
-	clean.WallNanos = 0
-	return &clean
-}
-
 // Put stores a result under key, atomically: the record is fully
 // written to a temporary file in the destination directory and then
 // renamed into place, so a concurrent reader (or a crash mid-write)
-// sees either nothing or a complete record. Host-timing fields are
-// zeroed first so the stored bytes are deterministic for a given key.
+// sees either nothing or a complete record. No sanitization is needed:
+// cpu.Result carries no host-side measurements, so the stored bytes
+// are a pure function of the spec key.
 func (s *Store) Put(key string, r *cpu.Result) error {
 	hash := hashKey(key)
 	dst := s.path(hash)
 	if err := os.MkdirAll(filepath.Dir(dst), 0o777); err != nil {
 		return fmt.Errorf("lab: store put: %w", err)
 	}
-	data, err := json.Marshal(record{Schema: SchemaVersion, Key: key, Result: sanitize(r)})
+	data, err := json.Marshal(record{Schema: SchemaVersion, Key: key, Result: r})
 	if err != nil {
 		return fmt.Errorf("lab: store put: %w", err)
 	}

@@ -63,6 +63,45 @@ func TestBranchTableSortedAndSums(t *testing.T) {
 	}
 }
 
+// TestBranchTableBackingsEquivalent drives the sparse (map) and dense
+// (PC-indexed array) backings through the same operation sequence and
+// requires identical observable output — the property that lets the
+// simulator hot path use the allocation-free dense variant without
+// the backing leaking into results.
+func TestBranchTableBackingsEquivalent(t *testing.T) {
+	sparse := NewBranchTable()
+	dense := NewBranchTableN(64)
+	// Deliberately interleaved first-use order and ties in every sort
+	// key, so ordering bugs in either backing surface.
+	ops := []struct {
+		pc          int
+		flush, misp uint64
+	}{
+		{30, 10, 0}, {10, 100, 2}, {20, 10, 5}, {40, 0, 0},
+		{10, 0, 1}, {5, 10, 5}, {63, 10, 0},
+	}
+	for _, op := range ops {
+		for _, tab := range []*BranchTable{sparse, dense} {
+			r := tab.At(op.pc)
+			r.FlushCycles += op.flush
+			r.Mispredicts += op.misp
+			r.Retired++
+		}
+	}
+	if sparse.Len() != dense.Len() {
+		t.Fatalf("Len: sparse %d, dense %d", sparse.Len(), dense.Len())
+	}
+	if sparse.FlushCycleSum() != dense.FlushCycleSum() {
+		t.Fatalf("FlushCycleSum: sparse %d, dense %d", sparse.FlushCycleSum(), dense.FlushCycleSum())
+	}
+	s, d := sparse.Sorted(), dense.Sorted()
+	for i := range s {
+		if s[i] != d[i] {
+			t.Fatalf("Sorted[%d]: sparse %+v, dense %+v", i, s[i], d[i])
+		}
+	}
+}
+
 func TestRingWrapAndCounts(t *testing.T) {
 	r := NewRing(4)
 	for i := 0; i < 10; i++ {
