@@ -14,6 +14,7 @@
 //	wishbench -list                   # list experiment IDs
 //	wishbench -scale 2.0 -exp fig2
 //	wishbench -exp fig10 -stats-out fig10.json  # machine-readable snapshots
+//	wishbench -exp all -server http://host:8081 # simulate on a wishsimd daemon
 package main
 
 import (
@@ -29,6 +30,7 @@ import (
 	"wishbranch/internal/exp"
 	"wishbranch/internal/lab"
 	"wishbranch/internal/obs"
+	"wishbranch/internal/serve"
 )
 
 func main() {
@@ -38,6 +40,7 @@ func main() {
 		scale    = flag.Float64("scale", 1.0, "workload size multiplier (1.0 = reduced-input default)")
 		workers  = flag.Int("j", runtime.NumCPU(), "max concurrent simulations")
 		cacheDir = flag.String("cache-dir", lab.DefaultDir(), "persistent result store directory (empty = disabled)")
+		server   = flag.String("server", "", "wishsimd base URL; simulations run remotely (local store disabled)")
 		verbose  = flag.Bool("v", false, "log each simulation to stderr")
 		statsOut = flag.String("stats-out", "", "write every campaign run's stats snapshot as a JSON array to this file")
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile of the campaign to this file")
@@ -79,7 +82,19 @@ func main() {
 	if *verbose {
 		l.Sched.Log = os.Stderr
 	}
-	if *cacheDir != "" {
+	if *server != "" {
+		// Remote mode: every simulation becomes an HTTP call to a
+		// wishsimd daemon. The daemon owns the memoization and the
+		// persistent store, so the local store stays off — otherwise a
+		// warm local cache would hide the server from this process and
+		// defeat the point of sharing it.
+		cl := &serve.Client{Base: *server}
+		if *verbose {
+			cl.Log = os.Stderr
+		}
+		l.Sched.Backend = cl.Run
+		fmt.Fprintf(os.Stderr, "wishbench: simulating remotely on %s\n", *server)
+	} else if *cacheDir != "" {
 		store, err := lab.OpenStore(*cacheDir)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "wishbench: %v (continuing without store)\n", err)

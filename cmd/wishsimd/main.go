@@ -1,0 +1,127 @@
+// Command wishsimd is the simulation daemon: a long-lived HTTP server
+// that executes simulation and campaign requests through one shared
+// scheduler, so the singleflight memo table and the persistent result
+// store are finally shared across every caller instead of dying with
+// each CLI invocation.
+//
+// Usage:
+//
+//	wishsimd                                # listen on :8081, default store
+//	wishsimd -addr :9000 -j 8 -queue 512    # bounded pool + queue
+//	wishsimd -cache-dir /data/wishcache     # shared persistent store
+//	wishsimd -cache-dir ""                  # memory-only (memo table still shared)
+//	wishsimd -drain-timeout 2m              # SIGTERM drain budget
+//	wishsimd -fault error:3                 # deterministic fault injection (tests/CI)
+//
+// Endpoints: POST /v1/run, POST /v1/campaign, GET /healthz,
+// GET /metrics (see internal/serve). Backpressure: requests beyond
+// -j + -queue are rejected with 429 and a Retry-After hint. On SIGTERM
+// or SIGINT the daemon stops admitting work (503), finishes every
+// admitted request within -drain-timeout, and exits 0; a drain that
+// misses the deadline exits 1.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"wishbranch/internal/lab"
+	"wishbranch/internal/serve"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		addr         = flag.String("addr", ":8081", "listen address")
+		workers      = flag.Int("j", runtime.NumCPU(), "max concurrent simulations")
+		queue        = flag.Int("queue", serve.DefaultQueueDepth, "admitted-but-waiting request bound beyond -j (0 = none)")
+		cacheDir     = flag.String("cache-dir", lab.DefaultDir(), "persistent result store directory (empty = disabled)")
+		maxTimeout   = flag.Duration("max-timeout", serve.DefaultMaxTimeout, "ceiling (and default) for per-request deadlines")
+		drainTimeout = flag.Duration("drain-timeout", 2*time.Minute, "how long SIGTERM waits for in-flight runs")
+		faultSpec    = flag.String("fault", "", `deterministic fault injection: "error:N", "drop:N", or "delay:N:dur"`)
+		verbose      = flag.Bool("v", false, "log each simulation and rejection to stderr")
+	)
+	flag.Parse()
+
+	fault, err := serve.ParseFault(*faultSpec)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "wishsimd: %v\n", err)
+		return 2
+	}
+
+	sched := lab.New()
+	sched.Workers = *workers
+	if *verbose {
+		sched.Log = os.Stderr
+	}
+	if *cacheDir != "" {
+		store, err := lab.OpenStore(*cacheDir)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "wishsimd: %v (continuing without store)\n", err)
+		} else {
+			sched.Store = store
+			fmt.Fprintf(os.Stderr, "wishsimd: result store at %s\n", store.Dir())
+		}
+	}
+
+	srv := &serve.Server{
+		Lab:        sched,
+		Workers:    *workers,
+		MaxTimeout: *maxTimeout,
+		Fault:      fault,
+	}
+	if *queue <= 0 {
+		srv.QueueDepth = -1
+	} else {
+		srv.QueueDepth = *queue
+	}
+	if *verbose {
+		srv.Log = os.Stderr
+	}
+
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	errCh := make(chan error, 1)
+	go func() {
+		if err := httpSrv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
+			errCh <- err
+		}
+	}()
+	fmt.Fprintf(os.Stderr, "wishsimd: listening on %s (%d workers, queue %d)\n", *addr, *workers, *queue)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGTERM, syscall.SIGINT)
+	select {
+	case err := <-errCh:
+		fmt.Fprintf(os.Stderr, "wishsimd: %v\n", err)
+		return 1
+	case s := <-sig:
+		fmt.Fprintf(os.Stderr, "wishsimd: %v: draining (up to %v)...\n", s, *drainTimeout)
+	}
+
+	// Drain admitted work first — /healthz flips to "draining" and new
+	// simulations get 503 — then close the listener. Shutdown after
+	// Drain so health/metrics stay reachable while runs finish.
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	drainErr := srv.Drain(drainCtx)
+	shutCtx, cancel2 := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel2()
+	httpSrv.Shutdown(shutCtx) //nolint:errcheck // drainErr is the verdict that matters
+	if drainErr != nil {
+		fmt.Fprintf(os.Stderr, "wishsimd: %v\n", drainErr)
+		return 1
+	}
+	fmt.Fprintf(os.Stderr, "wishsimd: drained cleanly: %s\n", sched.Summary())
+	return 0
+}

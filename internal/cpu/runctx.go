@@ -1,0 +1,62 @@
+package cpu
+
+import (
+	"context"
+	"fmt"
+)
+
+// cancelCheckInterval is how many scheduler wake-ups RunContext lets
+// pass between cancellation polls. Each wake-up is either one live
+// cycle or one bulk event-skip jump, so the poll rides the existing
+// event-skip cadence instead of adding a per-cycle branch: a dead
+// stretch of a million cycles costs one poll, and a fully live pipeline
+// polls every 32Ki cycles — a few microseconds of simulated work at
+// current host throughput. The poll itself is a non-blocking select on
+// a channel obtained once before the loop, so the hot path stays
+// allocation-free (TestRunContextZeroAlloc) and the bench gate sees the
+// exact same Run path as before.
+const cancelCheckInterval = 1 << 15
+
+// RunContext is Run with cooperative cancellation: when ctx is
+// cancelled (or its deadline passes), the simulation stops at the next
+// cancellation poll and returns the partial result together with an
+// error wrapping ctx.Err(). A context that can never be cancelled
+// (context.Background, context.TODO) delegates to Run and costs
+// nothing.
+//
+// Cancellation is a host-side concern only: a run that completes
+// before the context fires returns a result bit-identical to Run's
+// (TestRunContextEquivalence).
+func (c *CPU) RunContext(ctx context.Context, maxCycles uint64) (*Result, error) {
+	done := ctx.Done()
+	if done == nil {
+		return c.Run(maxCycles)
+	}
+	if maxCycles == 0 {
+		maxCycles = 1 << 40
+	}
+	countdown := cancelCheckInterval
+	for !c.res.Halted {
+		if c.cycle >= maxCycles {
+			c.res.Cycles = c.cycle
+			c.finishRun()
+			return &c.res, fmt.Errorf("cpu: cycle limit %d reached (pc=%d, retired=%d)",
+				maxCycles, c.st.PC, c.res.RetiredUops)
+		}
+		c.stepOrSkip(maxCycles)
+		if countdown--; countdown == 0 {
+			countdown = cancelCheckInterval
+			select {
+			case <-done:
+				c.res.Cycles = c.cycle
+				c.finishRun()
+				return &c.res, fmt.Errorf("cpu: run cancelled at cycle %d (pc=%d, retired=%d): %w",
+					c.cycle, c.st.PC, c.res.RetiredUops, ctx.Err())
+			default:
+			}
+		}
+	}
+	c.res.Cycles = c.cycle
+	c.finishRun()
+	return &c.res, nil
+}

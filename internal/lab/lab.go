@@ -1,6 +1,8 @@
 package lab
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"io"
 	"runtime"
@@ -25,10 +27,19 @@ type Lab struct {
 	// Log, when non-nil, receives one progress line per completed
 	// fresh simulation or store hit.
 	Log io.Writer
+	// Backend, when non-nil, replaces local simulation: a fresh result
+	// (memo miss, store miss) is acquired by calling it instead of
+	// Spec.SimulateContext. This is how wishbench runs campaigns
+	// against a remote wishsimd (serve.Client.Run has exactly this
+	// signature). Store and memo behaviour are unchanged — backend
+	// results are persisted like local ones, so a remote campaign
+	// still warms the local store.
+	Backend func(context.Context, Spec) (*cpu.Result, error)
 
 	mu      sync.Mutex
 	entries map[string]*entry
 	c       Counters
+	running int
 	started time.Time
 }
 
@@ -36,6 +47,12 @@ type entry struct {
 	done chan struct{}
 	res  *cpu.Result
 	err  error
+	// removed marks an entry that was deleted from the memo table
+	// because its producer was cancelled mid-run: the result is not a
+	// property of the spec, so waiters with a live context retry
+	// instead of inheriting the cancellation. Written before done is
+	// closed, read only after it is closed.
+	removed bool
 }
 
 // Counters snapshots the campaign's progress.
@@ -48,10 +65,25 @@ type Counters struct {
 	MemHits uint64
 	// Errors counts specs whose simulation failed.
 	Errors uint64
+	// Canceled counts runs abandoned because the requesting context
+	// was cancelled or timed out. Cancelled runs are not memoized:
+	// the next request for the same key simulates afresh.
+	Canceled uint64
 }
 
 // Runs returns all completed acquisitions (fresh + disk hits).
 func (c Counters) Runs() uint64 { return c.Fresh + c.DiskHits }
+
+// HitRatio returns the fraction of successful acquisitions served from
+// a cache (memo table or store) rather than simulated fresh.
+func (c Counters) HitRatio() float64 {
+	hits := c.DiskHits + c.MemHits
+	total := hits + c.Fresh
+	if total == 0 {
+		return 0
+	}
+	return float64(hits) / float64(total)
+}
 
 // New returns an empty lab with default parallelism and no store.
 func New() *Lab {
@@ -72,50 +104,103 @@ func (l *Lab) Counters() Counters {
 	return l.c
 }
 
+// InFlight returns the number of simulations currently executing (not
+// waiting, not cached) — the queue-instrumentation gauge wishsimd
+// exports on /metrics.
+func (l *Lab) InFlight() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.running
+}
+
 // Result returns the simulation result for spec, from the in-memory
 // table, the persistent store, or a fresh simulation — in that order.
 // Concurrent requests for the same key share one simulation.
 func (l *Lab) Result(s Spec) (*cpu.Result, error) {
+	return l.ResultContext(context.Background(), s)
+}
+
+// ResultContext is Result with cancellation. The context bounds this
+// caller's wait, and — when this caller ends up producing the result —
+// the simulation itself (via cpu.RunContext). A cancelled production is
+// not memoized: its entry is removed so later requests re-simulate,
+// and concurrent waiters whose own context is still live retry as the
+// new producer instead of inheriting the cancellation.
+func (l *Lab) ResultContext(ctx context.Context, s Spec) (*cpu.Result, error) {
 	key := s.Key()
-	l.mu.Lock()
-	if l.entries == nil {
-		l.entries = make(map[string]*entry)
-	}
-	if e, ok := l.entries[key]; ok {
-		l.c.MemHits++
+	for {
+		l.mu.Lock()
+		if l.entries == nil {
+			l.entries = make(map[string]*entry)
+		}
+		if e, ok := l.entries[key]; ok {
+			l.c.MemHits++
+			l.mu.Unlock()
+			select {
+			case <-e.done:
+			case <-ctx.Done():
+				return nil, fmt.Errorf("lab: %s: %w", s, ctx.Err())
+			}
+			if e.removed && ctx.Err() == nil {
+				continue // producer was cancelled, not the spec's fault
+			}
+			return e.res, e.err
+		}
+		e := &entry{done: make(chan struct{})}
+		l.entries[key] = e
+		if l.started.IsZero() {
+			l.started = time.Now()
+		}
 		l.mu.Unlock()
-		<-e.done
+
+		e.res, e.err = l.produce(ctx, s, key)
+		if e.err != nil && isCancellation(e.err) {
+			l.mu.Lock()
+			l.c.Canceled++
+			delete(l.entries, key)
+			l.mu.Unlock()
+			e.removed = true
+		}
+		close(e.done)
 		return e.res, e.err
 	}
-	e := &entry{done: make(chan struct{})}
-	l.entries[key] = e
-	if l.started.IsZero() {
-		l.started = time.Now()
-	}
-	l.mu.Unlock()
+}
 
-	e.res, e.err = l.produce(s, key)
-	close(e.done)
-	return e.res, e.err
+func isCancellation(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
 }
 
 // produce fills one entry: store lookup, then simulation (persisting
 // the fresh result). Store write failures are reported on Log but do
 // not fail the run — the result is still returned.
-func (l *Lab) produce(s Spec, key string) (*cpu.Result, error) {
+func (l *Lab) produce(ctx context.Context, s Spec, key string) (*cpu.Result, error) {
 	if l.Store != nil {
 		if r := l.Store.Get(key); r != nil {
 			l.note(s, r, 0, &l.c.DiskHits, "hit")
 			return r, nil
 		}
 	}
+	l.mu.Lock()
+	l.running++
+	l.mu.Unlock()
 	t0 := time.Now()
-	res, err := s.Simulate()
+	var res *cpu.Result
+	var err error
+	if l.Backend != nil {
+		res, err = l.Backend(ctx, s)
+	} else {
+		res, err = s.SimulateContext(ctx)
+	}
 	simTime := time.Since(t0)
+	l.mu.Lock()
+	l.running--
+	l.mu.Unlock()
 	if err != nil {
-		l.mu.Lock()
-		l.c.Errors++
-		l.mu.Unlock()
+		if !isCancellation(err) {
+			l.mu.Lock()
+			l.c.Errors++
+			l.mu.Unlock()
+		}
 		return nil, err
 	}
 	if l.Store != nil {

@@ -17,6 +17,7 @@
 package lab
 
 import (
+	"context"
 	"crypto/sha256"
 	"encoding/hex"
 	"fmt"
@@ -101,7 +102,14 @@ func (s Spec) Hash() string {
 // Simulate builds, compiles, and runs the spec. It is pure: safe to
 // call from any number of goroutines.
 func (s Spec) Simulate() (*cpu.Result, error) {
-	return s.SimulateInstrumented(nil)
+	return s.simulate(context.Background(), nil)
+}
+
+// SimulateContext is Simulate with cooperative cancellation: the
+// context's cancellation or deadline stops the cycle loop (via
+// cpu.RunContext) and surfaces as an error wrapping ctx.Err().
+func (s Spec) SimulateContext(ctx context.Context) (*cpu.Result, error) {
+	return s.simulate(ctx, nil)
 }
 
 // SimulateInstrumented is Simulate with an observer hook: attach, when
@@ -110,6 +118,10 @@ func (s Spec) Simulate() (*cpu.Result, error) {
 // only and must not change results; instrumented runs are therefore
 // never cached (callers that want the store go through Simulate).
 func (s Spec) SimulateInstrumented(attach func(*cpu.CPU)) (*cpu.Result, error) {
+	return s.simulate(context.Background(), attach)
+}
+
+func (s Spec) simulate(ctx context.Context, attach func(*cpu.CPU)) (*cpu.Result, error) {
 	if err := s.Validate(); err != nil {
 		return nil, err
 	}
@@ -126,7 +138,7 @@ func (s Spec) SimulateInstrumented(attach func(*cpu.CPU)) (*cpu.Result, error) {
 	if attach != nil {
 		attach(c)
 	}
-	res, err := c.Run(s.MaxCycles)
+	res, err := c.RunContext(ctx, s.MaxCycles)
 	if err != nil {
 		return nil, fmt.Errorf("lab: %s: %w", s.Key(), err)
 	}

@@ -18,6 +18,15 @@ import (
 // never an error, never a crash.
 type Store struct {
 	dir string
+
+	// FaultPut, when non-nil, is consulted with the record's key
+	// before every write; returning a non-nil error aborts that Put
+	// with it. It is the store half of the deterministic
+	// fault-injection surface (serve.Fault is the HTTP half): tests
+	// force the N-th write to fail and exercise the
+	// result-kept-in-memory and corrupt-entry recovery paths without
+	// depending on filesystem behaviour.
+	FaultPut func(key string) error
 }
 
 // record is the on-disk format. The full key is stored alongside the
@@ -80,13 +89,22 @@ func (s *Store) Get(key string) *cpu.Result {
 	return rec.Result
 }
 
-// Put stores a result under key, atomically: the record is fully
-// written to a temporary file in the destination directory and then
-// renamed into place, so a concurrent reader (or a crash mid-write)
-// sees either nothing or a complete record. No sanitization is needed:
+// Put stores a result under key, atomically and durably: the record is
+// fully written to a temporary file in the destination directory,
+// fsynced, and then renamed into place, so a concurrent reader (or a
+// crash at any point) sees either nothing or a complete record. The
+// fsync before the rename matters: without it a crash after the rename
+// but before writeback could leave a truncated file under the final
+// name — exactly the truncated-but-renamed corruption the decode table
+// in store_test.go guards against. No sanitization is needed:
 // cpu.Result carries no host-side measurements, so the stored bytes
 // are a pure function of the spec key.
 func (s *Store) Put(key string, r *cpu.Result) error {
+	if s.FaultPut != nil {
+		if err := s.FaultPut(key); err != nil {
+			return fmt.Errorf("lab: store put: %w", err)
+		}
+	}
 	hash := hashKey(key)
 	dst := s.path(hash)
 	if err := os.MkdirAll(filepath.Dir(dst), 0o777); err != nil {
@@ -101,6 +119,9 @@ func (s *Store) Put(key string, r *cpu.Result) error {
 		return fmt.Errorf("lab: store put: %w", err)
 	}
 	_, werr := tmp.Write(data)
+	if werr == nil {
+		werr = tmp.Sync()
+	}
 	cerr := tmp.Close()
 	if werr == nil {
 		werr = cerr

@@ -212,3 +212,81 @@ func TestStoreRecordsDeterministic(t *testing.T) {
 			first, second)
 	}
 }
+
+// TestStorePutDurableAgainstTruncation is the fsync regression test:
+// Put syncs the temp file before renaming it into place, so the crash
+// window that used to exist — rename survives, data writeback doesn't,
+// leaving a truncated record under the final name — cannot happen on a
+// journaling filesystem. The on-disk contract that makes even a
+// truncated record safe is exercised here end to end: every prefix of
+// a record must decode as a miss (the corrupt-decode table's
+// "truncated" row generalized), and the lab must silently re-simulate
+// and repair it.
+func TestStorePutDurableAgainstTruncation(t *testing.T) {
+	st, err := OpenStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := testSpec()
+	s.Scale = 0.02
+	key := s.Key()
+	if err := st.Put(key, testResult()); err != nil {
+		t.Fatal(err)
+	}
+	path := st.path(hashKey(key))
+	orig, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range []int{0, 1, len(orig) / 3, len(orig) - 1} {
+		if err := os.WriteFile(path, orig[:n], 0o666); err != nil {
+			t.Fatal(err)
+		}
+		if st.Get(key) != nil {
+			t.Fatalf("record truncated to %d bytes was served instead of treated as a miss", n)
+		}
+	}
+	// And the lab repairs it in place.
+	l := New()
+	l.Store = st
+	if _, err := l.Result(s); err != nil {
+		t.Fatalf("lab did not recover from a truncated record: %v", err)
+	}
+	if c := l.Counters(); c.Fresh != 1 {
+		t.Errorf("counters = %+v, want one fresh repair run", c)
+	}
+	if st.Get(key) == nil {
+		t.Error("repair did not overwrite the truncated record")
+	}
+}
+
+// TestStoreFaultPutAbortsCleanly: an injected write failure aborts the
+// Put before anything touches the filesystem — no temp droppings, no
+// partial record.
+func TestStoreFaultPutAbortsCleanly(t *testing.T) {
+	dir := t.TempDir()
+	st, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.FaultPut = func(key string) error { return os.ErrPermission }
+	key := testSpec().Key()
+	if err := st.Put(key, testResult()); err == nil {
+		t.Fatal("faulted Put reported success")
+	}
+	if st.Get(key) != nil {
+		t.Error("faulted Put left a readable record")
+	}
+	err = filepath.Walk(dir, func(p string, info os.FileInfo, err error) error {
+		if err != nil {
+			return err
+		}
+		if !info.IsDir() && strings.Contains(info.Name(), ".tmp-") {
+			t.Errorf("temp file left behind: %s", p)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

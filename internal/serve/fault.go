@@ -1,0 +1,86 @@
+package serve
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"time"
+)
+
+// Fault is the deterministic fault-injection hook: it fires on exactly
+// the Nth admitted simulation request (1-based, counted across /v1/run
+// and /v1/campaign admissions) and applies one of three behaviours:
+//
+//   - "error": answer 500 without running anything
+//   - "drop":  abort the connection mid-request (the client sees a
+//     transport error, the canonical retry trigger)
+//   - "delay": hold the request for a fixed duration, then proceed
+//     normally (backpressure and drain-under-load become reproducible)
+//
+// The trigger is a plain request counter, not a random draw, so a test
+// that injects "error:3" fails the same request every run — retry and
+// drain paths become testable without flakes. Randomized schedules
+// belong in the client's seeded retry jitter, not here.
+type Fault struct {
+	Mode  string        // "error", "drop", or "delay"
+	Nth   uint64        // 1-based ordinal of the request to hit
+	Delay time.Duration // only for "delay"
+
+	counter atomic.Uint64
+}
+
+// ParseFault parses a -fault flag value: "error:N", "drop:N", or
+// "delay:N:duration" (e.g. "delay:2:250ms"). Empty input is no fault.
+func ParseFault(s string) (*Fault, error) {
+	if s == "" {
+		return nil, nil
+	}
+	parts := strings.Split(s, ":")
+	f := &Fault{Mode: parts[0]}
+	bad := func() error {
+		return fmt.Errorf(`serve: bad fault spec %q (want "error:N", "drop:N", or "delay:N:duration")`, s)
+	}
+	switch f.Mode {
+	case "error", "drop":
+		if len(parts) != 2 {
+			return nil, bad()
+		}
+	case "delay":
+		if len(parts) != 3 {
+			return nil, bad()
+		}
+		d, err := time.ParseDuration(parts[2])
+		if err != nil || d < 0 {
+			return nil, bad()
+		}
+		f.Delay = d
+	default:
+		return nil, bad()
+	}
+	n, err := strconv.ParseUint(parts[1], 10, 64)
+	if err != nil || n == 0 {
+		return nil, bad()
+	}
+	f.Nth = n
+	return f, nil
+}
+
+// hit counts one admitted request and reports whether the fault fires
+// on it.
+func (f *Fault) hit() bool {
+	if f == nil {
+		return false
+	}
+	return f.counter.Add(1) == f.Nth
+}
+
+func (f *Fault) String() string {
+	if f == nil {
+		return "none"
+	}
+	if f.Mode == "delay" {
+		return fmt.Sprintf("delay:%d:%s", f.Nth, f.Delay)
+	}
+	return fmt.Sprintf("%s:%d", f.Mode, f.Nth)
+}

@@ -1,0 +1,437 @@
+// Package serve turns the simulator into a long-lived service: an HTTP
+// daemon (cmd/wishsimd) that executes simulation and campaign requests
+// through one shared lab.Lab, so the singleflight memo table and the
+// persistent result store finally outlive a single CLI invocation and
+// are shared across every client.
+//
+// The robustness surface is the point of the package:
+//
+//   - Admission control: a bounded worker pool with a bounded queue.
+//     Work beyond workers+queue is rejected immediately with 429 and a
+//     Retry-After hint — the server sheds load instead of building an
+//     unbounded backlog.
+//   - Deadlines: each request carries an optional timeout, capped by
+//     the server; the deadline propagates via context through
+//     lab.ResultContext into the simulator's cycle loop
+//     (cpu.RunContext), so an abandoned request stops burning CPU.
+//   - Graceful drain: Drain flips the server into a mode where new
+//     simulations are refused with 503 while every admitted request
+//     runs to completion, bounded by a drain deadline. /healthz
+//     reports "draining" so load balancers stop routing first.
+//   - Observability: /metrics exports request/response counts, queue
+//     occupancy, the lab's cache counters (hit ratio included), and
+//     per-bucket stall-cycle totals aggregated over served results.
+//   - Deterministic fault injection: an optional hook fails, drops, or
+//     delays exactly the Nth request, so retry and drain paths are
+//     testable without flakes (see Fault).
+//
+// serve.Client is the matching client: retries with exponential
+// backoff and seeded jitter on transport errors, 429, and 5xx, honours
+// Retry-After, and plugs directly into lab.Lab.Backend so wishbench
+// can run whole campaigns against a remote server (-server URL).
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"runtime"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"wishbranch/internal/cpu"
+	"wishbranch/internal/lab"
+	"wishbranch/internal/obs"
+)
+
+// Defaults for Server knobs left zero.
+const (
+	DefaultQueueDepth   = 256
+	DefaultMaxTimeout   = 10 * time.Minute
+	defaultRetryAfter   = 1 // seconds, 429/503 hint
+	maxRequestBodyBytes = 8 << 20
+)
+
+// Server executes simulation requests through one shared lab.Lab.
+// Configure the exported fields before the first request; the zero
+// values give NumCPU workers, a 256-deep queue, and a 10-minute
+// per-request ceiling.
+type Server struct {
+	// Lab executes and caches runs. Required. Configure Lab.Store for
+	// persistence; the memo table and store are shared by all clients
+	// of this server — that sharing is the reason the daemon exists.
+	Lab *lab.Lab
+	// Workers bounds concurrently executing simulations (<= 0 means
+	// runtime.NumCPU()).
+	Workers int
+	// QueueDepth bounds admitted-but-not-yet-running work beyond the
+	// worker pool. Admissions past Workers+QueueDepth answer 429
+	// with a Retry-After hint (0 means DefaultQueueDepth, negative
+	// means no queue at all; campaign batches count one admission per
+	// spec, so the queue must be at least as deep as the largest batch).
+	QueueDepth int
+	// MaxTimeout caps the per-request deadline a client may ask for
+	// and is the default when a request carries none (<= 0 means
+	// DefaultMaxTimeout).
+	MaxTimeout time.Duration
+	// Fault, when non-nil, is the deterministic fault-injection hook.
+	Fault *Fault
+	// Log, when non-nil, receives one line per rejected or faulted
+	// request.
+	Log io.Writer
+
+	once     sync.Once
+	slots    chan struct{}
+	pending  atomic.Int64
+	draining atomic.Bool
+	inflight sync.WaitGroup
+	started  time.Time
+
+	mu     sync.Mutex
+	reqs   map[string]uint64
+	resps  map[string]uint64
+	stalls [obs.NumBuckets]uint64
+}
+
+func (s *Server) init() {
+	s.once.Do(func() {
+		if s.Workers <= 0 {
+			s.Workers = runtime.NumCPU()
+		}
+		if s.QueueDepth == 0 {
+			s.QueueDepth = DefaultQueueDepth
+		} else if s.QueueDepth < 0 {
+			s.QueueDepth = 0
+		}
+		if s.MaxTimeout <= 0 {
+			s.MaxTimeout = DefaultMaxTimeout
+		}
+		s.slots = make(chan struct{}, s.Workers)
+		s.started = time.Now()
+		s.reqs = make(map[string]uint64)
+		s.resps = make(map[string]uint64)
+	})
+}
+
+// Handler returns the daemon's HTTP handler:
+//
+//	POST /v1/run       one simulation        (RunRequest → RunResponse)
+//	POST /v1/campaign  a batch               (CampaignRequest → CampaignResponse)
+//	GET  /healthz      liveness + drain state (Health)
+//	GET  /metrics      counters               (Metrics)
+func (s *Server) Handler() http.Handler {
+	s.init()
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/run", s.handleRun)
+	mux.HandleFunc("POST /v1/campaign", s.handleCampaign)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return mux
+}
+
+// Drain puts the server into drain mode — new simulation requests are
+// refused with 503, /healthz flips to "draining" — and waits until
+// every admitted request has completed, or ctx expires (the drain
+// deadline), whichever comes first. It is idempotent.
+func (s *Server) Drain(ctx context.Context) error {
+	s.init()
+	s.draining.Store(true)
+	done := make(chan struct{})
+	go func() {
+		s.inflight.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("serve: drain deadline passed with %d requests still pending: %w",
+			s.pending.Load(), ctx.Err())
+	}
+}
+
+// Draining reports whether Drain has been called.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// admit reserves n units of queue capacity and registers the request
+// with the drain tracker. It returns a release func on success, or an
+// HTTP status (429 or 503) on rejection. The order — inflight.Add,
+// then the draining check — closes the race against Drain: a request
+// that saw draining==false has its Add sequenced before Drain's Wait,
+// so drain never abandons an admitted request.
+func (s *Server) admit(n int) (release func(), status int) {
+	s.inflight.Add(1)
+	if s.draining.Load() {
+		s.inflight.Done()
+		return nil, http.StatusServiceUnavailable
+	}
+	if s.pending.Add(int64(n)) > int64(s.Workers+s.QueueDepth) {
+		s.pending.Add(int64(-n))
+		s.inflight.Done()
+		return nil, http.StatusTooManyRequests
+	}
+	return func() {
+		s.pending.Add(int64(-n))
+		s.inflight.Done()
+	}, 0
+}
+
+// execute runs one spec through the worker pool under ctx.
+func (s *Server) execute(ctx context.Context, spec lab.Spec) (*cpu.Result, error) {
+	select {
+	case s.slots <- struct{}{}:
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+	defer func() { <-s.slots }()
+	res, err := s.Lab.ResultContext(ctx, spec)
+	if err == nil {
+		s.mu.Lock()
+		for b, n := range res.Acct.Buckets {
+			s.stalls[b] += n
+		}
+		s.mu.Unlock()
+	}
+	return res, err
+}
+
+// timeout resolves a request's deadline: the client's ask, capped by
+// the server's ceiling; the ceiling itself when the client asked for
+// nothing.
+func (s *Server) timeout(ms int64) time.Duration {
+	d := time.Duration(ms) * time.Millisecond
+	if d <= 0 || d > s.MaxTimeout {
+		return s.MaxTimeout
+	}
+	return d
+}
+
+func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
+	s.count("run")
+	var req RunRequest
+	if !s.decode(w, r, &req, &req.Schema) {
+		return
+	}
+	if err := req.Spec.Validate(); err != nil {
+		s.reject(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	release, status := s.admit(1)
+	if status != 0 {
+		s.rejectBusy(w, status)
+		return
+	}
+	defer release()
+	if !s.injectFault(w) {
+		return
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), s.timeout(req.TimeoutMs))
+	defer cancel()
+	res, err := s.execute(ctx, req.Spec)
+	if err != nil {
+		s.reject(w, runErrStatus(err), err.Error())
+		return
+	}
+	s.writeJSON(w, http.StatusOK, RunResponse{Key: req.Spec.Key(), Result: res})
+}
+
+func (s *Server) handleCampaign(w http.ResponseWriter, r *http.Request) {
+	s.count("campaign")
+	var req CampaignRequest
+	if !s.decode(w, r, &req, &req.Schema) {
+		return
+	}
+	if len(req.Specs) == 0 {
+		s.reject(w, http.StatusBadRequest, "serve: empty campaign")
+		return
+	}
+	for i, spec := range req.Specs {
+		if err := spec.Validate(); err != nil {
+			s.reject(w, http.StatusBadRequest, fmt.Sprintf("spec %d: %v", i, err))
+			return
+		}
+	}
+	release, status := s.admit(len(req.Specs))
+	if status != 0 {
+		s.rejectBusy(w, status)
+		return
+	}
+	defer release()
+	if !s.injectFault(w) {
+		return
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), s.timeout(req.TimeoutMs))
+	defer cancel()
+
+	items := make([]CampaignItem, len(req.Specs))
+	var wg sync.WaitGroup
+	for i, spec := range req.Specs {
+		wg.Add(1)
+		go func(i int, spec lab.Spec) {
+			defer wg.Done()
+			items[i].Key = spec.Key()
+			res, err := s.execute(ctx, spec)
+			if err != nil {
+				items[i].Err = err.Error()
+				return
+			}
+			items[i].Result = res
+		}(i, spec)
+	}
+	wg.Wait()
+	s.writeJSON(w, http.StatusOK, CampaignResponse{Items: items})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	s.count("healthz")
+	h := Health{
+		Status:     "ok",
+		UptimeSecs: time.Since(s.started).Seconds(),
+		Pending:    s.pending.Load(),
+		InFlight:   s.Lab.InFlight(),
+	}
+	status := http.StatusOK
+	if s.draining.Load() {
+		h.Status = "draining"
+		status = http.StatusServiceUnavailable
+	}
+	s.writeJSON(w, status, h)
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	s.count("metrics")
+	c := s.Lab.Counters()
+	m := Metrics{
+		Schema:     APISchema,
+		UptimeSecs: time.Since(s.started).Seconds(),
+		Draining:   s.draining.Load(),
+		Workers:    s.Workers,
+		QueueDepth: s.QueueDepth,
+		Pending:    s.pending.Load(),
+		InFlight:   s.Lab.InFlight(),
+		Requests:   make(map[string]uint64),
+		Responses:  make(map[string]uint64),
+		Lab: LabMetrics{
+			Fresh:    c.Fresh,
+			DiskHits: c.DiskHits,
+			MemHits:  c.MemHits,
+			Errors:   c.Errors,
+			Canceled: c.Canceled,
+			HitRatio: c.HitRatio(),
+		},
+		Stalls: make(map[string]uint64),
+	}
+	s.mu.Lock()
+	for k, v := range s.reqs {
+		m.Requests[k] = v
+	}
+	for k, v := range s.resps {
+		m.Responses[k] = v
+	}
+	for b, n := range s.stalls {
+		m.Stalls[obs.Bucket(b).String()] = n
+	}
+	s.mu.Unlock()
+	s.writeJSON(w, http.StatusOK, m)
+}
+
+// decode reads a JSON request body and checks the wire schema.
+func (s *Server) decode(w http.ResponseWriter, r *http.Request, dst any, schema *int) bool {
+	body := http.MaxBytesReader(w, r.Body, maxRequestBodyBytes)
+	if err := json.NewDecoder(body).Decode(dst); err != nil {
+		s.reject(w, http.StatusBadRequest, fmt.Sprintf("serve: bad request body: %v", err))
+		return false
+	}
+	if *schema != APISchema {
+		s.reject(w, http.StatusBadRequest,
+			fmt.Sprintf("serve: request schema %d, want %d (client/server version skew)", *schema, APISchema))
+		return false
+	}
+	return true
+}
+
+// injectFault applies the configured fault if this admission is the
+// chosen one. It reports whether the request should proceed.
+func (s *Server) injectFault(w http.ResponseWriter) bool {
+	if !s.Fault.hit() {
+		return true
+	}
+	s.logf("serve: injecting fault %s", s.Fault)
+	switch s.Fault.Mode {
+	case "error":
+		s.reject(w, http.StatusInternalServerError, "serve: injected fault")
+		return false
+	case "drop":
+		s.countResp(0) // recorded as "dropped" in metrics
+		panic(http.ErrAbortHandler)
+	case "delay":
+		time.Sleep(s.Fault.Delay)
+	}
+	return true
+}
+
+// runErrStatus maps an execution error to a status: deadline/cancel →
+// 504 (the request's time budget ran out), anything else → 422 (the
+// spec was well-formed but the simulation failed, e.g. a cycle limit).
+func runErrStatus(err error) int {
+	if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+		return http.StatusGatewayTimeout
+	}
+	return http.StatusUnprocessableEntity
+}
+
+func (s *Server) reject(w http.ResponseWriter, status int, msg string) {
+	s.logf("serve: %d %s", status, msg)
+	s.writeJSON(w, status, ErrorResponse{Error: msg})
+}
+
+// rejectBusy answers an admission rejection (429 queue full, 503
+// draining) with a Retry-After hint.
+func (s *Server) rejectBusy(w http.ResponseWriter, status int) {
+	w.Header().Set("Retry-After", strconv.Itoa(defaultRetryAfter))
+	msg := "serve: draining, not accepting new work"
+	if status == http.StatusTooManyRequests {
+		msg = fmt.Sprintf("serve: queue full (%d pending, capacity %d)",
+			s.pending.Load(), s.Workers+s.QueueDepth)
+	}
+	s.reject(w, status, msg)
+}
+
+func (s *Server) writeJSON(w http.ResponseWriter, status int, v any) {
+	s.countResp(status)
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v) //nolint:errcheck // nothing to do about a dead client
+}
+
+func (s *Server) count(endpoint string) {
+	s.mu.Lock()
+	s.reqs[endpoint]++
+	s.mu.Unlock()
+}
+
+func (s *Server) countResp(status int) {
+	key := "dropped"
+	if status != 0 {
+		key = strconv.Itoa(status)
+	}
+	s.mu.Lock()
+	s.resps[key]++
+	s.mu.Unlock()
+}
+
+func (s *Server) logf(format string, args ...any) {
+	if s.Log == nil {
+		return
+	}
+	s.mu.Lock()
+	fmt.Fprintf(s.Log, format+"\n", args...)
+	s.mu.Unlock()
+}

@@ -1,0 +1,396 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"wishbranch/internal/compiler"
+	"wishbranch/internal/config"
+	"wishbranch/internal/cpu"
+	"wishbranch/internal/lab"
+	"wishbranch/internal/workload"
+)
+
+// cheapSpec is a real, fast simulation (gzip at 2% scale) for tests
+// that need actual results rather than a scripted backend.
+func cheapSpec() lab.Spec {
+	return lab.Spec{
+		Bench:      "gzip",
+		Input:      workload.InputA,
+		Variant:    compiler.NormalBranch,
+		Machine:    config.DefaultMachine(),
+		Scale:      0.02,
+		Thresholds: compiler.DefaultThresholds(),
+	}
+}
+
+// newTestServer wires a Server around l and serves it over httptest.
+func newTestServer(t *testing.T, s *Server) (*httptest.Server, *Client) {
+	t.Helper()
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return ts, &Client{Base: ts.URL, Backoff: time.Millisecond, MaxBackoff: 10 * time.Millisecond}
+}
+
+// scripted returns a backend whose behaviour is keyed by spec scale:
+// it parks until release is closed when block is true, errors on
+// errScale, and otherwise returns a result derived from the scale so
+// ordering is checkable.
+func scriptedBackend(block <-chan struct{}, errScale float64) func(context.Context, lab.Spec) (*cpu.Result, error) {
+	return func(ctx context.Context, s lab.Spec) (*cpu.Result, error) {
+		if block != nil {
+			select {
+			case <-block:
+			case <-ctx.Done():
+				return nil, fmt.Errorf("backend: %w", ctx.Err())
+			}
+		}
+		if errScale != 0 && s.Scale == errScale {
+			return nil, errors.New("injected backend failure")
+		}
+		return &cpu.Result{Cycles: uint64(s.Scale * 1000), Halted: true}, nil
+	}
+}
+
+// TestServeGoldenByteIdentical is the acceptance golden test: a result
+// served over HTTP must be byte-identical (as JSON) to the result of a
+// local lab run of the same spec.
+func TestServeGoldenByteIdentical(t *testing.T) {
+	local, err := lab.New().Result(cheapSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, cl := newTestServer(t, &Server{Lab: lab.New()})
+	remote, err := cl.Run(context.Background(), cheapSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	lb, err := json.Marshal(local)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, err := json.Marshal(remote)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(lb, rb) {
+		t.Errorf("remote result differs from local:\n--- local ---\n%s\n--- remote ---\n%s", lb, rb)
+	}
+}
+
+// TestServeSharedCacheAndMetrics: the second request for a spec is a
+// memo hit on the server's shared lab, visible in /metrics as a
+// non-zero hit ratio; stall-cycle totals accumulate.
+func TestServeSharedCacheAndMetrics(t *testing.T) {
+	_, cl := newTestServer(t, &Server{Lab: lab.New()})
+	for i := 0; i < 2; i++ {
+		if _, err := cl.Run(context.Background(), cheapSpec()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	m, err := cl.Metrics(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Lab.Fresh != 1 || m.Lab.MemHits != 1 {
+		t.Errorf("lab metrics = %+v, want 1 fresh + 1 memo hit", m.Lab)
+	}
+	if m.Lab.HitRatio <= 0 {
+		t.Errorf("hit ratio = %v, want > 0 after a repeat request", m.Lab.HitRatio)
+	}
+	if m.Requests["run"] != 2 {
+		t.Errorf("request counts = %v, want run=2", m.Requests)
+	}
+	if m.Responses["200"] != 2 {
+		t.Errorf("response counts = %v, want 200=2", m.Responses)
+	}
+	var stallSum uint64
+	for _, n := range m.Stalls {
+		stallSum += n
+	}
+	if stallSum == 0 {
+		t.Error("per-bucket stall totals are all zero after two served runs")
+	}
+}
+
+// TestServeBackpressure: with one worker and a zero-depth queue, a
+// second concurrent request is shed with 429 and a Retry-After hint
+// instead of queueing unboundedly.
+func TestServeBackpressure(t *testing.T) {
+	release := make(chan struct{})
+	l := lab.New()
+	l.Backend = scriptedBackend(release, 0)
+	srv := &Server{Lab: l, Workers: 1, QueueDepth: -1}
+	ts, cl := newTestServer(t, srv)
+
+	first := make(chan error, 1)
+	go func() {
+		_, err := cl.Run(context.Background(), cheapSpec())
+		first <- err
+	}()
+	waitFor(t, func() bool { return srv.pending.Load() == 1 })
+
+	body, _ := json.Marshal(RunRequest{Schema: APISchema, Spec: cheapSpec()})
+	resp, err := http.Post(ts.URL+"/v1/run", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("status = %d, want 429 when the queue is full", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("429 carried no Retry-After hint")
+	}
+
+	close(release)
+	if err := <-first; err != nil {
+		t.Errorf("admitted request failed: %v", err)
+	}
+}
+
+// TestServeGracefulDrain is the acceptance drain test: under load,
+// Drain completes every admitted request, refuses new ones with 503,
+// and returns within the drain deadline.
+func TestServeGracefulDrain(t *testing.T) {
+	release := make(chan struct{})
+	l := lab.New()
+	l.Backend = scriptedBackend(release, 0)
+	srv := &Server{Lab: l, Workers: 2}
+	ts, cl := newTestServer(t, srv)
+
+	inFlight := make(chan error, 1)
+	go func() {
+		_, err := cl.Run(context.Background(), cheapSpec())
+		inFlight <- err
+	}()
+	waitFor(t, func() bool { return srv.pending.Load() == 1 })
+
+	drainDone := make(chan error, 1)
+	drainCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	go func() { drainDone <- srv.Drain(drainCtx) }()
+	waitFor(t, srv.Draining)
+
+	// New work is refused with 503 (no retries: we want the raw answer).
+	spec := cheapSpec()
+	spec.Scale = 0.03
+	body, _ := json.Marshal(RunRequest{Schema: APISchema, Spec: spec})
+	resp, err := http.Post(ts.URL+"/v1/run", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("status = %d, want 503 while draining", resp.StatusCode)
+	}
+
+	// /healthz reports draining with 503 so load balancers stop routing.
+	h, err := cl.Health(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Status != "draining" {
+		t.Errorf("health status = %q, want draining", h.Status)
+	}
+
+	// The admitted request still completes, then the drain finishes.
+	close(release)
+	if err := <-inFlight; err != nil {
+		t.Errorf("admitted request failed during drain: %v", err)
+	}
+	if err := <-drainDone; err != nil {
+		t.Errorf("drain did not complete cleanly: %v", err)
+	}
+}
+
+// TestServeDrainDeadline: a drain that cannot finish in time reports
+// it instead of hanging forever.
+func TestServeDrainDeadline(t *testing.T) {
+	release := make(chan struct{})
+	defer close(release)
+	l := lab.New()
+	l.Backend = scriptedBackend(release, 0)
+	srv := &Server{Lab: l, Workers: 1}
+	_, cl := newTestServer(t, srv)
+
+	go cl.Run(context.Background(), cheapSpec()) //nolint:errcheck // released at cleanup
+	waitFor(t, func() bool { return srv.pending.Load() == 1 })
+
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	if err := srv.Drain(ctx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Errorf("drain err = %v, want wrapped DeadlineExceeded", err)
+	}
+}
+
+// TestServeRequestTimeout: a request deadline propagates into the run
+// and comes back as 504; the abandoned run is counted, not cached.
+func TestServeRequestTimeout(t *testing.T) {
+	l := lab.New()
+	l.Backend = scriptedBackend(make(chan struct{}), 0) // never released
+	srv := &Server{Lab: l}
+	_, cl := newTestServer(t, srv)
+	cl.Retries = -1
+
+	req := RunRequest{Schema: APISchema, Spec: cheapSpec(), TimeoutMs: 50}
+	var resp RunResponse
+	err := cl.do(context.Background(), "/v1/run", req, &resp)
+	var se *statusError
+	if !errors.As(err, &se) || se.status != http.StatusGatewayTimeout {
+		t.Fatalf("err = %v, want a 504", err)
+	}
+	waitFor(t, func() bool { return l.Counters().Canceled == 1 })
+}
+
+// TestServeCampaign: a batch comes back in request order with per-item
+// errors that do not fail the batch.
+func TestServeCampaign(t *testing.T) {
+	l := lab.New()
+	l.Backend = scriptedBackend(nil, 0.04)
+	_, cl := newTestServer(t, &Server{Lab: l, Workers: 2})
+
+	scales := []float64{0.05, 0.04, 0.03}
+	var specs []lab.Spec
+	for _, sc := range scales {
+		s := cheapSpec()
+		s.Scale = sc
+		specs = append(specs, s)
+	}
+	items, err := cl.Campaign(context.Background(), specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, it := range items {
+		if it.Key != specs[i].Key() {
+			t.Errorf("item %d out of order: key %q", i, it.Key)
+		}
+	}
+	if items[0].Result == nil || items[0].Result.Cycles != 50 {
+		t.Errorf("item 0 = %+v, want 50 cycles", items[0])
+	}
+	if items[1].Err == "" || items[1].Result != nil {
+		t.Errorf("item 1 = %+v, want the injected failure, no result", items[1])
+	}
+	if items[2].Result == nil || items[2].Result.Cycles != 30 {
+		t.Errorf("item 2 = %+v, want 30 cycles", items[2])
+	}
+}
+
+// TestServeCampaignRejectedWhole: a batch that does not fit the queue
+// is rejected as a unit with 429.
+func TestServeCampaignRejectedWhole(t *testing.T) {
+	l := lab.New()
+	l.Backend = scriptedBackend(nil, 0)
+	srv := &Server{Lab: l, Workers: 1, QueueDepth: 1} // capacity 2 total
+	ts, _ := newTestServer(t, srv)
+
+	var specs []lab.Spec
+	for i := 0; i < 3; i++ {
+		s := cheapSpec()
+		s.Scale = 0.01 * float64(i+1)
+		specs = append(specs, s)
+	}
+	body, _ := json.Marshal(CampaignRequest{Schema: APISchema, Specs: specs})
+	resp, err := http.Post(ts.URL+"/v1/campaign", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Errorf("status = %d, want 429 for a batch beyond capacity", resp.StatusCode)
+	}
+}
+
+// TestServeBadRequests: malformed bodies, unknown benchmarks, schema
+// skew, and wrong methods are rejected with 4xx, never executed.
+func TestServeBadRequests(t *testing.T) {
+	l := lab.New()
+	ts, _ := newTestServer(t, &Server{Lab: l})
+
+	post := func(path, body string) int {
+		resp, err := http.Post(ts.URL+path, "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		return resp.StatusCode
+	}
+	if got := post("/v1/run", "{not json"); got != http.StatusBadRequest {
+		t.Errorf("malformed body: status %d, want 400", got)
+	}
+	bad := cheapSpec()
+	bad.Bench = "nosuch"
+	body, _ := json.Marshal(RunRequest{Schema: APISchema, Spec: bad})
+	if got := post("/v1/run", string(body)); got != http.StatusBadRequest {
+		t.Errorf("unknown bench: status %d, want 400", got)
+	}
+	body, _ = json.Marshal(RunRequest{Schema: 99, Spec: cheapSpec()})
+	if got := post("/v1/run", string(body)); got != http.StatusBadRequest {
+		t.Errorf("schema skew: status %d, want 400", got)
+	}
+	if got := post("/v1/campaign", `{"schema":1,"specs":[]}`); got != http.StatusBadRequest {
+		t.Errorf("empty campaign: status %d, want 400", got)
+	}
+	resp, err := http.Get(ts.URL + "/v1/run")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET on /v1/run: status %d, want 405", resp.StatusCode)
+	}
+	if c := l.Counters(); c.Fresh != 0 && c.Errors != 0 {
+		t.Errorf("a rejected request reached the lab: %+v", c)
+	}
+}
+
+// TestWireSpecKeyRoundTrip: decode(encode(spec)) must have the same
+// cache key as the original for every machine shape the experiments
+// use — the property that makes HTTP results byte-identical to local
+// ones.
+func TestWireSpecKeyRoundTrip(t *testing.T) {
+	base := config.DefaultMachine()
+	machines := []*config.Machine{
+		base,
+		base.WithWindow(128),
+		base.WithDepth(10),
+		base.WithSelectUop(),
+	}
+	for _, m := range machines {
+		s := cheapSpec()
+		s.Machine = m
+		s.MaxCycles = 12345
+		data, err := json.Marshal(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var got lab.Spec
+		if err := json.Unmarshal(data, &got); err != nil {
+			t.Fatal(err)
+		}
+		if got.Key() != s.Key() {
+			t.Errorf("machine %s: wire round trip changed the key:\n%s\nvs\n%s",
+				m.Name, s.Key(), got.Key())
+		}
+	}
+}
+
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal("condition never became true")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
