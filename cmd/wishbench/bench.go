@@ -40,8 +40,8 @@ type BenchFile struct {
 // BenchStat is one suite entry's measurement.
 type BenchStat struct {
 	Name        string  `json:"name"`
-	RetiredUops uint64  `json:"retired_uops"` // determinism check: exact
-	UopsPerSec  float64 `json:"uops_per_sec"` // throughput gate: relative
+	RetiredUops uint64  `json:"retired_uops"`  // determinism check: exact
+	UopsPerSec  float64 `json:"uops_per_sec"`  // throughput gate: relative
 	SteadyAlloc uint64  `json:"steady_allocs"` // arena gate: never grows
 }
 

@@ -15,6 +15,10 @@
 //	wishbench -scale 2.0 -exp fig2
 //	wishbench -exp fig10 -stats-out fig10.json  # machine-readable snapshots
 //	wishbench -exp all -server http://host:8081 # simulate on a wishsimd daemon
+//
+// The -server URL may point at a single wishsimd worker or at a
+// `wishsimd -coordinator` fronting a whole cluster — the wire API is
+// identical and the output stays byte-identical either way.
 package main
 
 import (

@@ -13,12 +13,27 @@
 //	wishsimd -drain-timeout 2m              # SIGTERM drain budget
 //	wishsimd -fault error:3                 # deterministic fault injection (tests/CI)
 //
+// Cluster mode: the same binary fronts a fleet of workers as a
+// coordinator speaking the identical wire API, so `wishbench -server`
+// points at either without knowing which it got:
+//
+//	wishsimd -coordinator -worker http://h1:8081,http://h2:8081,http://h3:8081
+//	wishsimd -coordinator -worker ... -hedge-after 2s    # straggler hedging
+//	wishsimd -coordinator -worker ... -probe-interval 1s # membership probes
+//
+// The coordinator consistent-hashes each request's cache key onto the
+// worker ring (keeping every worker's memo table hot for its shard),
+// fans campaigns out per worker, and merges responses in request order
+// — byte-identical to a single node, including across worker failures
+// (see internal/cluster).
+//
 // Endpoints: POST /v1/run, POST /v1/campaign, GET /healthz,
 // GET /metrics (see internal/serve). Backpressure: requests beyond
 // -j + -queue are rejected with 429 and a Retry-After hint. On SIGTERM
 // or SIGINT the daemon stops admitting work (503), finishes every
 // admitted request within -drain-timeout, and exits 0; a drain that
-// misses the deadline exits 1.
+// misses the deadline exits 1. Both modes follow the same drain
+// contract.
 package main
 
 import (
@@ -30,9 +45,11 @@ import (
 	"os"
 	"os/signal"
 	"runtime"
+	"strings"
 	"syscall"
 	"time"
 
+	"wishbranch/internal/cluster"
 	"wishbranch/internal/lab"
 	"wishbranch/internal/serve"
 )
@@ -51,8 +68,27 @@ func run() int {
 		drainTimeout = flag.Duration("drain-timeout", 2*time.Minute, "how long SIGTERM waits for in-flight runs")
 		faultSpec    = flag.String("fault", "", `deterministic fault injection: "error:N", "drop:N", or "delay:N:dur"`)
 		verbose      = flag.Bool("v", false, "log each simulation and rejection to stderr")
+
+		coordinator   = flag.Bool("coordinator", false, "run as a cluster coordinator instead of a worker")
+		workerList    = flag.String("worker", "", "comma-separated worker base URLs (coordinator mode; repeatable via commas)")
+		hedgeAfter    = flag.Duration("hedge-after", 0, "hedge a shard to its ring successor after this wait (coordinator mode; 0 = off)")
+		probeInterval = flag.Duration("probe-interval", 2*time.Second, "worker /healthz probe cadence (coordinator mode)")
+		replicas      = flag.Int("replicas", cluster.DefaultReplicas, "virtual nodes per worker on the hash ring (coordinator mode)")
 	)
 	flag.Parse()
+
+	if *coordinator {
+		return runCoordinator(coordinatorConfig{
+			addr:          *addr,
+			workers:       *workerList,
+			hedgeAfter:    *hedgeAfter,
+			probeInterval: *probeInterval,
+			replicas:      *replicas,
+			maxTimeout:    *maxTimeout,
+			drainTimeout:  *drainTimeout,
+			verbose:       *verbose,
+		})
+	}
 
 	fault, err := serve.ParseFault(*faultSpec)
 	if err != nil {
@@ -123,5 +159,80 @@ func run() int {
 		return 1
 	}
 	fmt.Fprintf(os.Stderr, "wishsimd: drained cleanly: %s\n", sched.Summary())
+	return 0
+}
+
+type coordinatorConfig struct {
+	addr          string
+	workers       string
+	hedgeAfter    time.Duration
+	probeInterval time.Duration
+	replicas      int
+	maxTimeout    time.Duration
+	drainTimeout  time.Duration
+	verbose       bool
+}
+
+// runCoordinator fronts the worker fleet behind the same wire API a
+// single worker speaks, following the same SIGTERM drain contract as
+// worker mode.
+func runCoordinator(cfg coordinatorConfig) int {
+	var urls []string
+	for _, u := range strings.Split(cfg.workers, ",") {
+		if u = strings.TrimSpace(u); u != "" {
+			urls = append(urls, strings.TrimRight(u, "/"))
+		}
+	}
+	if len(urls) == 0 {
+		fmt.Fprintln(os.Stderr, "wishsimd: -coordinator needs at least one -worker URL")
+		return 2
+	}
+
+	reg := cluster.NewRegistry(urls)
+	reg.ProbeInterval = cfg.probeInterval
+	reg.Replicas = cfg.replicas
+	co := &cluster.Coordinator{
+		Registry:   reg,
+		HedgeAfter: cfg.hedgeAfter,
+		MaxTimeout: cfg.maxTimeout,
+	}
+	if cfg.verbose {
+		reg.Log = os.Stderr
+		co.Log = os.Stderr
+	}
+	reg.Start()
+	defer reg.Stop()
+
+	httpSrv := &http.Server{Addr: cfg.addr, Handler: co.Handler()}
+	errCh := make(chan error, 1)
+	go func() {
+		if err := httpSrv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
+			errCh <- err
+		}
+	}()
+	fmt.Fprintf(os.Stderr, "wishsimd: coordinating %d workers on %s (hedge %v, probe every %v)\n",
+		len(urls), cfg.addr, cfg.hedgeAfter, cfg.probeInterval)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGTERM, syscall.SIGINT)
+	select {
+	case err := <-errCh:
+		fmt.Fprintf(os.Stderr, "wishsimd: %v\n", err)
+		return 1
+	case s := <-sig:
+		fmt.Fprintf(os.Stderr, "wishsimd: %v: draining (up to %v)...\n", s, cfg.drainTimeout)
+	}
+
+	drainCtx, cancel := context.WithTimeout(context.Background(), cfg.drainTimeout)
+	defer cancel()
+	drainErr := co.Drain(drainCtx)
+	shutCtx, cancel2 := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel2()
+	httpSrv.Shutdown(shutCtx) //nolint:errcheck // drainErr is the verdict that matters
+	if drainErr != nil {
+		fmt.Fprintf(os.Stderr, "wishsimd: %v\n", drainErr)
+		return 1
+	}
+	fmt.Fprintln(os.Stderr, "wishsimd: drained cleanly: coordinator")
 	return 0
 }

@@ -1,0 +1,475 @@
+// Package cluster scales the simulation service out: a coordinator
+// that shards work across N wishsimd workers and speaks the exact
+// /v1/run and /v1/campaign wire API of a single worker, so every
+// existing client — `wishbench -server URL` first among them — points
+// at the coordinator and gets a cluster without changing a byte.
+//
+// The design leans on one invariant: a simulation result is a pure
+// function of its lab.Spec key. That makes sharding an affinity
+// optimization rather than a correctness concern — any worker can
+// serve any spec, but routing a key to the same worker every time
+// keeps that worker's singleflight memo table and persistent store hot
+// for its shard. The coordinator therefore consistent-hashes the lab
+// cache key onto a ring of workers (Ring), tracks membership with
+// generation-numbered liveness (Registry), and merges campaign
+// responses back into the original request order, so cluster output is
+// byte-identical to a single-node run at any worker count and under
+// any failover history.
+//
+// Robustness is the point:
+//
+//   - Failover: a worker that fails a request with a transport error
+//     or 5xx is marked dead on the spot; the shard retries with
+//     backoff against a freshly-resolved ring, landing on the next
+//     live node clockwise. Periodic /healthz probes resurrect workers
+//     that heal (and demote ones that die quietly or start draining).
+//   - Hedging: optionally, a shard with no answer after HedgeAfter is
+//     hedged to its ring successor; the first response wins and the
+//     loser is cancelled through the context plumbing, so a straggling
+//     worker costs latency, never correctness — and the hedge target
+//     is exactly the node the shard would fail over to.
+//   - Backpressure: a shard whose every route answers 429 is reported
+//     as 429 with the maximum Retry-After across shards — the cluster
+//     propagates honest backpressure instead of absorbing it into an
+//     unbounded queue.
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"wishbranch/internal/cpu"
+	"wishbranch/internal/lab"
+	"wishbranch/internal/serve"
+)
+
+// Defaults for Coordinator knobs left zero.
+const (
+	DefaultRetries      = 3
+	DefaultBackoff      = 50 * time.Millisecond
+	DefaultMaxBackoff   = 2 * time.Second
+	maxRequestBodyBytes = 8 << 20
+)
+
+// Coordinator fronts a cluster of wishsimd workers behind the
+// single-node wire API. Configure the exported fields before the first
+// request. The coordinator itself holds no queue — admission control
+// and 429 backpressure live at the workers, and the coordinator
+// propagates them — so it stays a thin, stateless router that can
+// itself be replicated.
+type Coordinator struct {
+	// Registry tracks the worker set and its liveness. Required.
+	Registry *Registry
+	// Retries bounds per-shard re-dispatches after the first attempt
+	// (< 0 = none, 0 = DefaultRetries).
+	Retries int
+	// Backoff is the first re-dispatch wait; it doubles per attempt up
+	// to MaxBackoff (zero values = 50ms / 2s).
+	Backoff    time.Duration
+	MaxBackoff time.Duration
+	// HedgeAfter, when positive, hedges a shard to its ring successor
+	// if the home worker has not answered within this duration.
+	HedgeAfter time.Duration
+	// MaxTimeout caps the per-request deadline a client may ask for
+	// and is the default when a request carries none (<= 0 means
+	// serve.DefaultMaxTimeout).
+	MaxTimeout time.Duration
+	// Log, when non-nil, receives one line per reroute, hedge, and
+	// rejection.
+	Log io.Writer
+
+	once     sync.Once
+	started  time.Time
+	draining atomic.Bool
+	inflight sync.WaitGroup
+	hedges   atomic.Uint64
+	reroutes atomic.Uint64
+
+	mu    sync.Mutex
+	reqs  map[string]uint64
+	resps map[string]uint64
+}
+
+func (co *Coordinator) init() {
+	co.once.Do(func() {
+		if co.Retries == 0 {
+			co.Retries = DefaultRetries
+		}
+		if co.Backoff <= 0 {
+			co.Backoff = DefaultBackoff
+		}
+		if co.MaxBackoff <= 0 {
+			co.MaxBackoff = DefaultMaxBackoff
+		}
+		if co.MaxTimeout <= 0 {
+			co.MaxTimeout = serve.DefaultMaxTimeout
+		}
+		co.started = time.Now()
+		co.reqs = make(map[string]uint64)
+		co.resps = make(map[string]uint64)
+	})
+}
+
+func (co *Coordinator) retries() int {
+	if co.Retries < 0 {
+		return 0
+	}
+	return co.Retries
+}
+
+// Handler returns the coordinator's HTTP handler — the same endpoint
+// set as a single worker:
+//
+//	POST /v1/run       one simulation, routed to its home worker
+//	POST /v1/campaign  a batch, split into per-worker shards and merged
+//	GET  /healthz      cluster liveness (Health)
+//	GET  /metrics      ring state + per-worker counters (Metrics)
+func (co *Coordinator) Handler() http.Handler {
+	co.init()
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/run", co.handleRun)
+	mux.HandleFunc("POST /v1/campaign", co.handleCampaign)
+	mux.HandleFunc("GET /healthz", co.handleHealthz)
+	mux.HandleFunc("GET /metrics", co.handleMetrics)
+	return mux
+}
+
+// Drain refuses new requests with 503 and waits for in-flight ones,
+// bounded by ctx. Same contract as serve.Server.Drain.
+func (co *Coordinator) Drain(ctx context.Context) error {
+	co.init()
+	co.draining.Store(true)
+	done := make(chan struct{})
+	go func() {
+		co.inflight.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("cluster: drain deadline passed with requests still in flight: %w", ctx.Err())
+	}
+}
+
+// Draining reports whether Drain has been called.
+func (co *Coordinator) Draining() bool { return co.draining.Load() }
+
+// admit registers a request with the drain tracker (Add before the
+// draining check, same race-closing order as serve.Server.admit).
+func (co *Coordinator) admit() (release func(), ok bool) {
+	co.inflight.Add(1)
+	if co.draining.Load() {
+		co.inflight.Done()
+		return nil, false
+	}
+	return func() { co.inflight.Done() }, true
+}
+
+func (co *Coordinator) timeout(ms int64) time.Duration {
+	d := time.Duration(ms) * time.Millisecond
+	if d <= 0 || d > co.MaxTimeout {
+		return co.MaxTimeout
+	}
+	return d
+}
+
+func (co *Coordinator) handleRun(w http.ResponseWriter, r *http.Request) {
+	co.count("run")
+	var req serve.RunRequest
+	if !co.decode(w, r, &req, &req.Schema) {
+		return
+	}
+	if err := req.Spec.Validate(); err != nil {
+		co.reject(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	release, ok := co.admit()
+	if !ok {
+		co.rejectDraining(w)
+		return
+	}
+	defer release()
+	ctx, cancel := context.WithTimeout(r.Context(), co.timeout(req.TimeoutMs))
+	defer cancel()
+
+	key := req.Spec.Key()
+	v, err := co.route(ctx, key, func(ctx context.Context, wk *Worker) (any, error) {
+		res, rerr := wk.Client.Run(ctx, req.Spec)
+		if rerr != nil {
+			return nil, rerr
+		}
+		return res, nil
+	})
+	if err != nil {
+		co.rejectErr(w, err)
+		return
+	}
+	co.writeJSON(w, http.StatusOK, serve.RunResponse{Key: key, Result: v.(*cpu.Result)})
+}
+
+func (co *Coordinator) handleCampaign(w http.ResponseWriter, r *http.Request) {
+	co.count("campaign")
+	var req serve.CampaignRequest
+	if !co.decode(w, r, &req, &req.Schema) {
+		return
+	}
+	if len(req.Specs) == 0 {
+		co.reject(w, http.StatusBadRequest, "cluster: empty campaign")
+		return
+	}
+	for i, spec := range req.Specs {
+		if err := spec.Validate(); err != nil {
+			co.reject(w, http.StatusBadRequest, fmt.Sprintf("spec %d: %v", i, err))
+			return
+		}
+	}
+	release, ok := co.admit()
+	if !ok {
+		co.rejectDraining(w)
+		return
+	}
+	defer release()
+	ctx, cancel := context.WithTimeout(r.Context(), co.timeout(req.TimeoutMs))
+	defer cancel()
+
+	items, err := co.campaign(ctx, req.Specs)
+	if err != nil {
+		co.rejectErr(w, err)
+		return
+	}
+	co.writeJSON(w, http.StatusOK, serve.CampaignResponse{Items: items})
+}
+
+// campaign splits the batch into per-worker shards by each spec's home
+// on the ring, dispatches the shards concurrently (each with its own
+// retry/hedge ladder), and merges the answers back into request order.
+// The merge is positional — shard results carry their original
+// indices — so the response is byte-identical to a single worker's
+// regardless of sharding, membership changes, or failover history.
+//
+// A shard that exhausts its routes leaves per-item errors (a failed
+// shard does not fail the batch, matching single-worker campaign
+// semantics), with one exception: a shard shed with 429 rejects the
+// whole batch with 429 and the maximum Retry-After across shards,
+// because the batch-admitted-whole contract means "come back later",
+// not "here is half your campaign".
+func (co *Coordinator) campaign(ctx context.Context, specs []lab.Spec) ([]serve.CampaignItem, error) {
+	items := make([]serve.CampaignItem, len(specs))
+	keys := make([]string, len(specs))
+	for i := range specs {
+		keys[i] = specs[i].Key()
+		items[i].Key = keys[i]
+	}
+
+	ring := co.Registry.Ring()
+	if ring.Empty() {
+		return nil, ErrNoWorkers
+	}
+	shards := make(map[*Worker][]int)
+	for i, k := range keys {
+		home := ring.Lookup(k, 1)[0]
+		shards[home] = append(shards[home], i)
+	}
+
+	var (
+		wg            sync.WaitGroup
+		mu            sync.Mutex
+		maxRetryAfter time.Duration
+		anyBusy       bool
+	)
+	for _, idxs := range shards {
+		wg.Add(1)
+		go func(idxs []int) {
+			defer wg.Done()
+			sub := make([]lab.Spec, len(idxs))
+			for j, idx := range idxs {
+				sub[j] = specs[idx]
+			}
+			v, err := co.route(ctx, keys[idxs[0]], func(ctx context.Context, wk *Worker) (any, error) {
+				return wk.Client.Campaign(ctx, sub)
+			})
+			if err != nil {
+				var se *serve.StatusError
+				if errors.As(err, &se) && se.Status == http.StatusTooManyRequests {
+					mu.Lock()
+					anyBusy = true
+					if se.RetryAfter > maxRetryAfter {
+						maxRetryAfter = se.RetryAfter
+					}
+					mu.Unlock()
+					return
+				}
+				for _, idx := range idxs {
+					items[idx].Err = err.Error()
+				}
+				return
+			}
+			got := v.([]serve.CampaignItem)
+			for j, idx := range idxs {
+				if got[j].Key != keys[idx] {
+					items[idx].Err = fmt.Sprintf(
+						"cluster: worker computed key %q for a spec with key %q (wire-format skew?)",
+						got[j].Key, keys[idx])
+					continue
+				}
+				items[idx] = got[j]
+			}
+		}(idxs)
+	}
+	wg.Wait()
+	if anyBusy {
+		return nil, busyErr(maxRetryAfter)
+	}
+	return items, nil
+}
+
+func (co *Coordinator) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	co.count("healthz")
+	live := len(co.Registry.Live())
+	h := Health{
+		Status:       "ok",
+		UptimeSecs:   time.Since(co.started).Seconds(),
+		Generation:   co.Registry.Generation(),
+		LiveWorkers:  live,
+		TotalWorkers: len(co.Registry.Workers()),
+	}
+	status := http.StatusOK
+	switch {
+	case co.draining.Load():
+		h.Status = "draining"
+		status = http.StatusServiceUnavailable
+	case live == 0:
+		h.Status = "degraded"
+		status = http.StatusServiceUnavailable
+	}
+	co.writeJSON(w, status, h)
+}
+
+func (co *Coordinator) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	co.count("metrics")
+	workers := co.Registry.Workers()
+	m := Metrics{
+		Schema:       serve.APISchema,
+		UptimeSecs:   time.Since(co.started).Seconds(),
+		Draining:     co.draining.Load(),
+		Generation:   co.Registry.Generation(),
+		Replicas:     co.Registry.Replicas,
+		LiveWorkers:  len(co.Registry.Live()),
+		TotalWorkers: len(workers),
+		Reroutes:     co.reroutes.Load(),
+		Hedges:       co.hedges.Load(),
+		Requests:     make(map[string]uint64),
+		Responses:    make(map[string]uint64),
+	}
+	if m.Replicas == 0 {
+		m.Replicas = DefaultReplicas
+	}
+	for _, wk := range workers {
+		m.Workers = append(m.Workers, WorkerStatus{
+			URL:      wk.URL,
+			Alive:    wk.Alive(),
+			Requests: wk.reqs.Load(),
+			Errors:   wk.errs.Load(),
+			Hedges:   wk.hedgd.Load(),
+		})
+	}
+	co.mu.Lock()
+	for k, v := range co.reqs {
+		m.Requests[k] = v
+	}
+	for k, v := range co.resps {
+		m.Responses[k] = v
+	}
+	co.mu.Unlock()
+	co.writeJSON(w, http.StatusOK, m)
+}
+
+// decode reads a JSON request body and checks the wire schema — the
+// same contract as a single worker, because version skew between a
+// client and the cluster is as fatal as against one node.
+func (co *Coordinator) decode(w http.ResponseWriter, r *http.Request, dst any, schema *int) bool {
+	body := http.MaxBytesReader(w, r.Body, maxRequestBodyBytes)
+	if err := json.NewDecoder(body).Decode(dst); err != nil {
+		co.reject(w, http.StatusBadRequest, fmt.Sprintf("cluster: bad request body: %v", err))
+		return false
+	}
+	if *schema != serve.APISchema {
+		co.reject(w, http.StatusBadRequest,
+			fmt.Sprintf("cluster: request schema %d, want %d (client/coordinator version skew)", *schema, serve.APISchema))
+		return false
+	}
+	return true
+}
+
+// rejectErr maps a routing failure to the status the wire API
+// promises: worker-reported statuses pass through (with Retry-After
+// re-attached to 429/503), an empty ring is 503 with a Retry-After of
+// one probe interval, a dead request context is 504, and anything else
+// — a shard that exhausted every route — is 502.
+func (co *Coordinator) rejectErr(w http.ResponseWriter, err error) {
+	var se *serve.StatusError
+	switch {
+	case errors.Is(err, ErrNoWorkers):
+		w.Header().Set("Retry-After", strconv.Itoa(int(co.Registry.probeInterval()/time.Second)+1))
+		co.reject(w, http.StatusServiceUnavailable, err.Error())
+	case errors.As(err, &se):
+		if se.Status == http.StatusTooManyRequests || se.Status == http.StatusServiceUnavailable {
+			secs := int(math.Ceil(se.RetryAfter.Seconds()))
+			if secs < 1 {
+				secs = 1
+			}
+			w.Header().Set("Retry-After", strconv.Itoa(secs))
+		}
+		co.reject(w, se.Status, se.Msg)
+	case errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled):
+		co.reject(w, http.StatusGatewayTimeout, err.Error())
+	default:
+		co.reject(w, http.StatusBadGateway, err.Error())
+	}
+}
+
+func (co *Coordinator) rejectDraining(w http.ResponseWriter) {
+	w.Header().Set("Retry-After", "1")
+	co.reject(w, http.StatusServiceUnavailable, "cluster: draining, not accepting new work")
+}
+
+func (co *Coordinator) reject(w http.ResponseWriter, status int, msg string) {
+	co.logf("cluster: %d %s", status, msg)
+	co.writeJSON(w, status, serve.ErrorResponse{Error: msg})
+}
+
+func (co *Coordinator) writeJSON(w http.ResponseWriter, status int, v any) {
+	co.countResp(status)
+	serve.WriteJSON(w, status, v)
+}
+
+func (co *Coordinator) count(endpoint string) {
+	co.mu.Lock()
+	co.reqs[endpoint]++
+	co.mu.Unlock()
+}
+
+func (co *Coordinator) countResp(status int) {
+	co.mu.Lock()
+	co.resps[strconv.Itoa(status)]++
+	co.mu.Unlock()
+}
+
+func (co *Coordinator) logf(format string, args ...any) {
+	if co.Log == nil {
+		return
+	}
+	co.mu.Lock()
+	fmt.Fprintf(co.Log, format+"\n", args...)
+	co.mu.Unlock()
+}

@@ -1,0 +1,426 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"testing"
+	"time"
+
+	"wishbranch/internal/compiler"
+	"wishbranch/internal/config"
+	"wishbranch/internal/cpu"
+	"wishbranch/internal/lab"
+	"wishbranch/internal/serve"
+	"wishbranch/internal/workload"
+)
+
+// testSpec is a valid spec whose scale doubles as its identity: the
+// scripted backend fabricates the result from the scale, so routing
+// and merge logic are checkable without real simulations.
+func testSpec(scale float64) lab.Spec {
+	return lab.Spec{
+		Bench:      "gzip",
+		Input:      workload.InputA,
+		Variant:    compiler.NormalBranch,
+		Machine:    config.DefaultMachine(),
+		Scale:      scale,
+		Thresholds: compiler.DefaultThresholds(),
+	}
+}
+
+// scriptedLab fabricates deterministic results from the spec scale;
+// when block is non-nil every fresh production parks until it closes.
+func scriptedLab(block <-chan struct{}) *lab.Lab {
+	l := lab.New()
+	l.Backend = func(ctx context.Context, s lab.Spec) (*cpu.Result, error) {
+		if block != nil {
+			select {
+			case <-block:
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			}
+		}
+		return &cpu.Result{Cycles: uint64(s.Scale * 100000), Halted: true}, nil
+	}
+	return l
+}
+
+// startWorker runs a real serve.Server (the actual single-node wire
+// implementation) over the given lab.
+func startWorker(t *testing.T, l *lab.Lab) *httptest.Server {
+	t.Helper()
+	ts := httptest.NewServer((&serve.Server{Lab: l, Workers: 4}).Handler())
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+// startCluster runs a coordinator over the URLs and returns a wire
+// client pointed at it — the same client wishbench uses.
+func startCluster(t *testing.T, urls []string, tune func(*Coordinator)) (*Coordinator, *serve.Client, *httptest.Server) {
+	t.Helper()
+	co := &Coordinator{
+		Registry: NewRegistry(urls),
+		Backoff:  time.Millisecond,
+	}
+	if tune != nil {
+		tune(co)
+	}
+	ts := httptest.NewServer(co.Handler())
+	t.Cleanup(ts.Close)
+	return co, &serve.Client{Base: ts.URL, Backoff: time.Millisecond, MaxBackoff: 10 * time.Millisecond}, ts
+}
+
+// specHomedAt finds a spec whose cache key homes at the given worker.
+func specHomedAt(t *testing.T, co *Coordinator, w *Worker) lab.Spec {
+	t.Helper()
+	for i := 1; i < 10000; i++ {
+		s := testSpec(0.0001 * float64(i))
+		if co.Registry.Ring().Lookup(s.Key(), 1)[0] == w {
+			return s
+		}
+	}
+	t.Fatal("no spec homes at the worker")
+	panic("unreachable")
+}
+
+// specsCoveringAllWorkers builds a batch guaranteed to include at
+// least one spec homed at every worker.
+func specsCoveringAllWorkers(t *testing.T, co *Coordinator, extra int) []lab.Spec {
+	t.Helper()
+	var specs []lab.Spec
+	for _, w := range co.Registry.Workers() {
+		specs = append(specs, specHomedAt(t, co, w))
+	}
+	for i := 0; i < extra; i++ {
+		specs = append(specs, testSpec(0.5+0.001*float64(i)))
+	}
+	return specs
+}
+
+// TestClusterRunShardAffinity: the coordinator is a drop-in for a
+// single worker on /v1/run, and repeat requests for a key land on the
+// same worker — whose singleflight memo table turns them into memory
+// hits instead of fresh simulations.
+func TestClusterRunShardAffinity(t *testing.T) {
+	labs := []*lab.Lab{scriptedLab(nil), scriptedLab(nil), scriptedLab(nil)}
+	var urls []string
+	for _, l := range labs {
+		urls = append(urls, startWorker(t, l).URL)
+	}
+	_, cl, _ := startCluster(t, urls, nil)
+
+	spec := testSpec(0.07)
+	for i := 0; i < 3; i++ {
+		res, err := cl.Run(context.Background(), spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Cycles != 7000 {
+			t.Fatalf("result = %+v, want the scripted 7000 cycles", res)
+		}
+	}
+	var fresh, mem uint64
+	for _, l := range labs {
+		c := l.Counters()
+		fresh += c.Fresh
+		mem += c.MemHits
+	}
+	if fresh != 1 || mem != 2 {
+		t.Errorf("cluster-wide counters: %d fresh, %d memo hits for 3 identical runs — want 1 and 2 (shard affinity broken)", fresh, mem)
+	}
+}
+
+// TestClusterCampaignByteIdenticalToSingleNode is the acceptance merge
+// test: a campaign through a 3-worker cluster must produce a response
+// byte-identical (as JSON) to the same campaign on one plain worker.
+func TestClusterCampaignByteIdenticalToSingleNode(t *testing.T) {
+	var urls []string
+	for i := 0; i < 3; i++ {
+		urls = append(urls, startWorker(t, scriptedLab(nil)).URL)
+	}
+	co, cl, _ := startCluster(t, urls, nil)
+	specs := specsCoveringAllWorkers(t, co, 9)
+
+	clustered, err := cl.Campaign(context.Background(), specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	single := startWorker(t, scriptedLab(nil))
+	scl := &serve.Client{Base: single.URL}
+	reference, err := scl.Campaign(context.Background(), specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cb, err := json.Marshal(clustered)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, err := json.Marshal(reference)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(cb, rb) {
+		t.Errorf("clustered campaign differs from single-node:\n--- cluster ---\n%s\n--- single ---\n%s", cb, rb)
+	}
+}
+
+// TestClusterWorkerDeathFailover: killing a worker mid-life re-homes
+// its shard to the next live node; the campaign still completes with
+// every item intact and the registry records the death.
+func TestClusterWorkerDeathFailover(t *testing.T) {
+	var servers []*httptest.Server
+	var urls []string
+	for i := 0; i < 3; i++ {
+		s := startWorker(t, scriptedLab(nil))
+		servers = append(servers, s)
+		urls = append(urls, s.URL)
+	}
+	co, cl, _ := startCluster(t, urls, nil)
+	specs := specsCoveringAllWorkers(t, co, 9)
+
+	// Kill the worker that owns the first spec — its shard must fail
+	// over. (Close is the in-process SIGKILL: connections refuse.)
+	victim := co.Registry.Ring().Lookup(specs[0].Key(), 1)[0]
+	for i, s := range servers {
+		if s.URL == victim.URL {
+			servers[i].Close()
+		}
+	}
+
+	items, err := cl.Campaign(context.Background(), specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, it := range items {
+		if it.Err != "" || it.Result == nil {
+			t.Errorf("item %d lost to the failover: %+v", i, it)
+		}
+		if want := uint64(specs[i].Scale * 100000); it.Result != nil && it.Result.Cycles != want {
+			t.Errorf("item %d = %d cycles, want %d (merge order broken?)", i, it.Result.Cycles, want)
+		}
+	}
+	if victim.Alive() {
+		t.Error("killed worker still marked live")
+	}
+	if co.Registry.Generation() == 0 {
+		t.Error("membership generation did not move on a death")
+	}
+	if co.reroutes.Load() == 0 {
+		t.Error("no reroute was recorded for the dead worker's shard")
+	}
+}
+
+// TestClusterHedgeStraggler: a worker that stalls (without dying) gets
+// its shard hedged to the ring successor, whose answer wins.
+func TestClusterHedgeStraggler(t *testing.T) {
+	block := make(chan struct{})
+	defer close(block)
+	slow := scriptedLab(block)
+	fast1, fast2 := scriptedLab(nil), scriptedLab(nil)
+	slowTS := startWorker(t, slow)
+	urls := []string{slowTS.URL, startWorker(t, fast1).URL, startWorker(t, fast2).URL}
+	co, cl, _ := startCluster(t, urls, func(c *Coordinator) {
+		c.HedgeAfter = 5 * time.Millisecond
+	})
+
+	spec := specHomedAt(t, co, co.Registry.Workers()[0]) // homed at the straggler
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	res, err := cl.Run(ctx, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := uint64(spec.Scale * 100000); res.Cycles != want {
+		t.Errorf("hedged result = %d cycles, want %d", res.Cycles, want)
+	}
+	if co.hedges.Load() == 0 {
+		t.Error("no hedge was launched against a straggling worker")
+	}
+	if !co.Registry.Workers()[0].Alive() {
+		t.Error("straggler was marked dead — slow is not dead")
+	}
+}
+
+// TestCluster429Propagation: a cluster at capacity answers 429 with
+// the maximum Retry-After across shards — honest backpressure, not an
+// absorbed queue.
+func TestCluster429Propagation(t *testing.T) {
+	busy := func(retryAfter int) *httptest.Server {
+		ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Retry-After", strconv.Itoa(retryAfter))
+			serve.WriteJSON(w, http.StatusTooManyRequests, serve.ErrorResponse{Error: "queue full"})
+		}))
+		t.Cleanup(ts.Close)
+		return ts
+	}
+	a, b := busy(3), busy(7)
+	co, _, ts := startCluster(t, []string{a.URL, b.URL}, func(c *Coordinator) {
+		c.Retries = -1 // no retry layering: the propagation itself is under test
+	})
+
+	// A batch covering both workers: the propagated hint must be the
+	// 7-second maximum.
+	specs := specsCoveringAllWorkers(t, co, 0)
+	body, err := json.Marshal(serve.CampaignRequest{Schema: serve.APISchema, Specs: specs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(ts.URL+"/v1/campaign", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("status = %d, want 429 propagated from the workers", resp.StatusCode)
+	}
+	if got := resp.Header.Get("Retry-After"); got != "7" {
+		t.Errorf("Retry-After = %q, want the 7s maximum across shards", got)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json; charset=utf-8" {
+		t.Errorf("Content-Type = %q, want explicit JSON on cluster errors too", ct)
+	}
+}
+
+// TestClusterHealthAndMetrics: /healthz degrades when the last worker
+// dies, and /metrics exposes ring state and per-worker counters.
+func TestClusterHealthAndMetrics(t *testing.T) {
+	w1 := startWorker(t, scriptedLab(nil))
+	co, cl, ts := startCluster(t, []string{w1.URL}, nil)
+
+	if _, err := cl.Run(context.Background(), testSpec(0.05)); err != nil {
+		t.Fatal(err)
+	}
+	h, err := cl.Health(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Status != "ok" {
+		t.Errorf("health = %q with a live worker, want ok", h.Status)
+	}
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var m Metrics
+	if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
+		t.Fatal(err)
+	}
+	if m.TotalWorkers != 1 || m.LiveWorkers != 1 || m.Replicas != DefaultReplicas {
+		t.Errorf("metrics ring state = %+v, want 1/1 workers at default replicas", m)
+	}
+	if len(m.Workers) != 1 || m.Workers[0].Requests == 0 {
+		t.Errorf("per-worker counters = %+v, want a request recorded", m.Workers)
+	}
+	if m.Requests["run"] != 1 || m.Responses["200"] == 0 {
+		t.Errorf("endpoint counters = %v / %v, want run=1 and a 200", m.Requests, m.Responses)
+	}
+
+	// Kill the only worker: health must degrade to 503.
+	w1.Close()
+	co.Registry.ProbeOnce(context.Background())
+	hresp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hresp.Body.Close()
+	if hresp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("healthz = %d with no live workers, want 503", hresp.StatusCode)
+	}
+	var dh Health
+	if err := json.NewDecoder(hresp.Body).Decode(&dh); err != nil {
+		t.Fatal(err)
+	}
+	if dh.Status != "degraded" || dh.LiveWorkers != 0 {
+		t.Errorf("health body = %+v, want degraded with 0 live", dh)
+	}
+
+	// And a run against the dead cluster is shed with 503+Retry-After.
+	body, _ := json.Marshal(serve.RunRequest{Schema: serve.APISchema, Spec: testSpec(0.05)})
+	rresp, err := http.Post(ts.URL+"/v1/run", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rresp.Body.Close()
+	if rresp.StatusCode != http.StatusServiceUnavailable || rresp.Header.Get("Retry-After") == "" {
+		t.Errorf("run against a dead cluster = %d (Retry-After %q), want 503 with a hint",
+			rresp.StatusCode, rresp.Header.Get("Retry-After"))
+	}
+}
+
+// TestClusterDrain: a draining coordinator sheds new work with 503 and
+// flips /healthz, same contract as a single worker.
+func TestClusterDrain(t *testing.T) {
+	w1 := startWorker(t, scriptedLab(nil))
+	co, cl, ts := startCluster(t, []string{w1.URL}, nil)
+	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+	defer cancel()
+	if err := co.Drain(ctx); err != nil {
+		t.Fatal(err)
+	}
+	body, _ := json.Marshal(serve.RunRequest{Schema: serve.APISchema, Spec: testSpec(0.05)})
+	resp, err := http.Post(ts.URL+"/v1/run", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("status = %d while draining, want 503", resp.StatusCode)
+	}
+	h, err := cl.Health(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Status != "draining" {
+		t.Errorf("health = %q, want draining", h.Status)
+	}
+}
+
+// TestClusterBadRequests: malformed bodies, schema skew, invalid
+// specs, and empty campaigns die at the coordinator with 4xx — they
+// never reach a worker.
+func TestClusterBadRequests(t *testing.T) {
+	var hits int
+	stub := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits++
+		serve.WriteJSON(w, http.StatusOK, serve.ErrorResponse{})
+	}))
+	t.Cleanup(stub.Close)
+	_, _, ts := startCluster(t, []string{stub.URL}, nil)
+
+	post := func(path, body string) int {
+		resp, err := http.Post(ts.URL+path, "application/json", bytes.NewReader([]byte(body)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		return resp.StatusCode
+	}
+	if got := post("/v1/run", "{not json"); got != http.StatusBadRequest {
+		t.Errorf("malformed body: %d, want 400", got)
+	}
+	bad, _ := json.Marshal(serve.RunRequest{Schema: 99, Spec: testSpec(0.05)})
+	if got := post("/v1/run", string(bad)); got != http.StatusBadRequest {
+		t.Errorf("schema skew: %d, want 400", got)
+	}
+	invalid := testSpec(0.05)
+	invalid.Bench = "nosuch"
+	badSpec, _ := json.Marshal(serve.RunRequest{Schema: serve.APISchema, Spec: invalid})
+	if got := post("/v1/run", string(badSpec)); got != http.StatusBadRequest {
+		t.Errorf("invalid spec: %d, want 400", got)
+	}
+	if got := post("/v1/campaign", fmt.Sprintf(`{"schema":%d,"specs":[]}`, serve.APISchema)); got != http.StatusBadRequest {
+		t.Errorf("empty campaign: %d, want 400", got)
+	}
+	if hits != 0 {
+		t.Errorf("%d bad requests leaked through to a worker", hits)
+	}
+}

@@ -1,0 +1,183 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"time"
+
+	"wishbranch/internal/serve"
+)
+
+// ErrNoWorkers is returned when the ring has no live workers to route
+// to; the coordinator answers it with 503 and a Retry-After of one
+// probe interval (the soonest membership can improve).
+var ErrNoWorkers = errors.New("cluster: no live workers")
+
+// routable reports whether a failure indicts the worker rather than
+// the request: transport errors and 5xx mean "route around this node",
+// while 429 means "the node is healthy but full" (back off, stay
+// home — moving the shard would just cold-miss another cache) and
+// other 4xx mean the request itself is wrong.
+func routable(err error) bool {
+	var se *serve.StatusError
+	if !errors.As(err, &se) {
+		return true // transport-level: connection refused, reset, dropped
+	}
+	return se.Status >= 500
+}
+
+func isBusy(err error) bool {
+	var se *serve.StatusError
+	return errors.As(err, &se) && se.Status == http.StatusTooManyRequests
+}
+
+// route executes fn against key's home worker with the full robustness
+// ladder: a hedged second attempt against the ring successor if the
+// home worker stalls past HedgeAfter (first response wins, the loser's
+// context is cancelled), the failed worker marked dead on a routable
+// failure, and a bounded backoff-retry loop that re-resolves the ring
+// each attempt — so a shard whose home died re-homes to the next live
+// node, which is exactly the node its hedges were warming.
+//
+// 429s are aggregated, not routed around: if every attempt ends busy,
+// route returns a single 429 carrying the maximum Retry-After seen, so
+// the caller propagates honest backpressure instead of masking it.
+func (co *Coordinator) route(ctx context.Context, key string, fn func(context.Context, *Worker) (any, error)) (any, error) {
+	var lastErr error
+	var maxRetryAfter time.Duration
+	sawBusy := false
+	for attempt := 0; ; attempt++ {
+		if attempt > 0 {
+			co.reroutes.Add(1)
+			select {
+			case <-time.After(co.backoff(attempt - 1)):
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			}
+		}
+		cands := co.Registry.Ring().Lookup(key, 2)
+		if len(cands) == 0 {
+			if sawBusy {
+				lastErr = busyErr(maxRetryAfter)
+			} else if lastErr == nil {
+				lastErr = ErrNoWorkers
+			}
+			return nil, lastErr
+		}
+		v, err := co.tryHedged(ctx, cands, fn)
+		if err == nil {
+			return v, nil
+		}
+		lastErr = err
+		var se *serve.StatusError
+		if errors.As(err, &se) {
+			switch {
+			case se.Status == http.StatusTooManyRequests:
+				sawBusy = true
+				if se.RetryAfter > maxRetryAfter {
+					maxRetryAfter = se.RetryAfter
+				}
+			case se.Status < 500:
+				// The request is wrong, not the worker: permanent.
+				return nil, err
+			}
+		}
+		if attempt >= co.retries() || ctx.Err() != nil {
+			break
+		}
+	}
+	if sawBusy {
+		return nil, busyErr(maxRetryAfter)
+	}
+	return nil, lastErr
+}
+
+func busyErr(retryAfter time.Duration) error {
+	return &serve.StatusError{
+		Status:     http.StatusTooManyRequests,
+		Msg:        "cluster: every route for this shard is at capacity",
+		RetryAfter: retryAfter,
+	}
+}
+
+// tryHedged runs fn against cands[0], launching a hedge against
+// cands[1] if no answer arrives within HedgeAfter. The first success
+// wins and cancels the other attempt through the shared context — the
+// losing worker's request context dies, which propagates through
+// serve's deadline plumbing into the simulator's cycle loop, so a
+// hedged-away run stops burning worker CPU. Workers that fail with a
+// routable error are marked dead here, where the failing attempt knows
+// which node it hit.
+func (co *Coordinator) tryHedged(ctx context.Context, cands []*Worker, fn func(context.Context, *Worker) (any, error)) (any, error) {
+	hctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	type attemptResult struct {
+		v   any
+		err error
+		w   *Worker
+	}
+	ch := make(chan attemptResult, len(cands))
+	launch := func(w *Worker) {
+		w.reqs.Add(1)
+		go func() {
+			v, err := fn(hctx, w)
+			ch <- attemptResult{v, err, w}
+		}()
+	}
+	launch(cands[0])
+	outstanding := 1
+
+	var hedgeTimer *time.Timer
+	var hedgeC <-chan time.Time
+	if co.HedgeAfter > 0 && len(cands) > 1 {
+		hedgeTimer = time.NewTimer(co.HedgeAfter)
+		defer hedgeTimer.Stop()
+		hedgeC = hedgeTimer.C
+	}
+
+	var firstErr error
+	for {
+		select {
+		case r := <-ch:
+			outstanding--
+			if r.err == nil {
+				return r.v, nil // first response wins; deferred cancel stops the loser
+			}
+			r.w.errs.Add(1)
+			if ctx.Err() == nil && routable(r.err) {
+				co.Registry.MarkDead(r.w)
+			}
+			// Keep a busy (429) failure in preference to others so the
+			// Retry-After hint survives aggregation.
+			if firstErr == nil || (isBusy(r.err) && !isBusy(firstErr)) {
+				firstErr = r.err
+			}
+			if outstanding == 0 {
+				return nil, firstErr
+			}
+		case <-hedgeC:
+			hedgeC = nil
+			co.hedges.Add(1)
+			cands[1].hedgd.Add(1)
+			co.logf("cluster: hedging straggler shard to %s", cands[1].URL)
+			launch(cands[1])
+			outstanding++
+		case <-ctx.Done():
+			// The request itself is gone; in-flight attempts die with
+			// hctx and drain into the buffered channel.
+			return nil, ctx.Err()
+		}
+	}
+}
+
+// backoff is the re-route wait schedule: exponential from Backoff,
+// capped at MaxBackoff. No jitter — a coordinator retries against a
+// freshly-resolved ring, not a thundering herd of identical clients.
+func (co *Coordinator) backoff(attempt int) time.Duration {
+	d := co.Backoff << attempt
+	if d > co.MaxBackoff || d <= 0 {
+		d = co.MaxBackoff
+	}
+	return d
+}

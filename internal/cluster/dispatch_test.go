@@ -1,0 +1,187 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"testing"
+	"time"
+
+	"wishbranch/internal/serve"
+)
+
+// dispatchCoordinator builds a coordinator over fake (never-dialed)
+// workers for route-level tests: fn is stubbed, so no HTTP happens.
+func dispatchCoordinator(tune func(*Coordinator)) *Coordinator {
+	reg := NewRegistry([]string{"http://w1", "http://w2", "http://w3"})
+	co := &Coordinator{Registry: reg, Backoff: time.Millisecond, MaxBackoff: 4 * time.Millisecond}
+	if tune != nil {
+		tune(co)
+	}
+	co.init()
+	return co
+}
+
+// TestRouteFailoverMarksDeadAndRehomes: a transport failure at the
+// home worker demotes it and lands the retry on the next live ring
+// node — the old successor.
+func TestRouteFailoverMarksDeadAndRehomes(t *testing.T) {
+	co := dispatchCoordinator(nil)
+	const key = "shard-key"
+	cands := co.Registry.Ring().Lookup(key, 2)
+	home, successor := cands[0], cands[1]
+
+	var tried []string
+	v, err := co.route(context.Background(), key, func(ctx context.Context, w *Worker) (any, error) {
+		tried = append(tried, w.URL)
+		if w == home {
+			return nil, errors.New("connection refused")
+		}
+		return w.URL, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != successor.URL {
+		t.Errorf("re-homed to %v, want the old ring successor %s (tried %v)", v, successor.URL, tried)
+	}
+	if home.Alive() {
+		t.Error("failed home worker was not marked dead")
+	}
+	if co.reroutes.Load() == 0 {
+		t.Error("reroute counter did not move")
+	}
+	if home.errs.Load() != 1 {
+		t.Errorf("home worker error counter = %d, want 1", home.errs.Load())
+	}
+}
+
+// TestRoutePermanent4xxIsNotRetried: a 4xx means the request is wrong;
+// the worker stays alive and no retry is burned.
+func TestRoutePermanent4xxIsNotRetried(t *testing.T) {
+	co := dispatchCoordinator(nil)
+	calls := 0
+	_, err := co.route(context.Background(), "k", func(ctx context.Context, w *Worker) (any, error) {
+		calls++
+		return nil, &serve.StatusError{Status: http.StatusUnprocessableEntity, Msg: "bad spec"}
+	})
+	var se *serve.StatusError
+	if !errors.As(err, &se) || se.Status != http.StatusUnprocessableEntity {
+		t.Fatalf("err = %v, want the 422 back verbatim", err)
+	}
+	if calls != 1 {
+		t.Errorf("fn called %d times for a permanent error, want 1", calls)
+	}
+	if len(co.Registry.Live()) != 3 {
+		t.Error("a permanent request error demoted a worker")
+	}
+}
+
+// TestRouteBusyAggregatesRetryAfter: 429s are retried in place — the
+// worker stays alive and home — and the final error is a 429 carrying
+// the maximum Retry-After seen across attempts.
+func TestRouteBusyAggregatesRetryAfter(t *testing.T) {
+	co := dispatchCoordinator(func(c *Coordinator) { c.Retries = 2 })
+	hints := []time.Duration{3 * time.Second, 9 * time.Second, 5 * time.Second}
+	calls := 0
+	_, err := co.route(context.Background(), "k", func(ctx context.Context, w *Worker) (any, error) {
+		h := hints[calls]
+		calls++
+		return nil, &serve.StatusError{Status: http.StatusTooManyRequests, Msg: "full", RetryAfter: h}
+	})
+	var se *serve.StatusError
+	if !errors.As(err, &se) || se.Status != http.StatusTooManyRequests {
+		t.Fatalf("err = %v, want an aggregated 429", err)
+	}
+	if se.RetryAfter != 9*time.Second {
+		t.Errorf("Retry-After = %v, want the 9s maximum across attempts", se.RetryAfter)
+	}
+	if calls != 3 {
+		t.Errorf("fn called %d times with Retries=2, want 3", calls)
+	}
+	if len(co.Registry.Live()) != 3 {
+		t.Error("a busy worker was demoted — 429 must not mean dead")
+	}
+}
+
+// TestRouteHedgeWinsAndCancelsLoser: the home worker stalls, the hedge
+// fires against the ring successor, its answer wins, and the home
+// attempt's context is cancelled — without the home being demoted
+// (slow is not dead).
+func TestRouteHedgeWinsAndCancelsLoser(t *testing.T) {
+	co := dispatchCoordinator(func(c *Coordinator) { c.HedgeAfter = 2 * time.Millisecond })
+	const key = "straggler"
+	home := co.Registry.Ring().Lookup(key, 1)[0]
+
+	loserCancelled := make(chan struct{})
+	v, err := co.route(context.Background(), key, func(ctx context.Context, w *Worker) (any, error) {
+		if w == home {
+			<-ctx.Done() // stalls until the winner cancels it
+			close(loserCancelled)
+			return nil, ctx.Err()
+		}
+		return "hedge-result", nil
+	})
+	if err != nil || v != "hedge-result" {
+		t.Fatalf("route = %v, %v, want the hedge's answer", v, err)
+	}
+	select {
+	case <-loserCancelled:
+	case <-time.After(5 * time.Second):
+		t.Fatal("the losing attempt was never cancelled")
+	}
+	if co.hedges.Load() != 1 {
+		t.Errorf("hedge counter = %d, want 1", co.hedges.Load())
+	}
+	if !home.Alive() {
+		t.Error("a merely slow worker was marked dead")
+	}
+}
+
+// TestRouteNoLiveWorkers: an empty ring reports ErrNoWorkers.
+func TestRouteNoLiveWorkers(t *testing.T) {
+	co := dispatchCoordinator(nil)
+	for _, w := range co.Registry.Workers() {
+		co.Registry.MarkDead(w)
+	}
+	_, err := co.route(context.Background(), "k", func(ctx context.Context, w *Worker) (any, error) {
+		t.Fatal("fn ran with no live workers")
+		return nil, nil
+	})
+	if !errors.Is(err, ErrNoWorkers) {
+		t.Errorf("err = %v, want ErrNoWorkers", err)
+	}
+}
+
+// TestRouteExhaustionDrainsRing: every worker fails; route demotes
+// them one by one and reports the last failure once the ring is dry.
+func TestRouteExhaustionDrainsRing(t *testing.T) {
+	co := dispatchCoordinator(func(c *Coordinator) { c.Retries = 10 })
+	_, err := co.route(context.Background(), "k", func(ctx context.Context, w *Worker) (any, error) {
+		return nil, errors.New("kaboom")
+	})
+	if err == nil || err.Error() != "kaboom" {
+		t.Errorf("err = %v, want the final kaboom", err)
+	}
+	if live := len(co.Registry.Live()); live != 0 {
+		t.Errorf("%d workers still live after total failure, want 0", live)
+	}
+}
+
+// TestRouteDeadlineAbortsBackoff: a dead request context aborts the
+// retry loop mid-backoff instead of burning the whole budget.
+func TestRouteDeadlineAbortsBackoff(t *testing.T) {
+	co := dispatchCoordinator(func(c *Coordinator) {
+		c.Retries = 100
+		c.Backoff = 100 * time.Millisecond
+		c.MaxBackoff = 100 * time.Millisecond
+	})
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	_, err := co.route(ctx, "k", func(ctx context.Context, w *Worker) (any, error) {
+		return nil, &serve.StatusError{Status: http.StatusTooManyRequests, Msg: "full"}
+	})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Errorf("err = %v, want the context deadline", err)
+	}
+}

@@ -21,6 +21,7 @@ import (
 	"crypto/sha256"
 	"encoding/hex"
 	"fmt"
+	"hash/fnv"
 	"reflect"
 	"strconv"
 	"strings"
@@ -97,6 +98,18 @@ func (s Spec) Key() string {
 func (s Spec) Hash() string {
 	sum := sha256.Sum256([]byte(s.Key()))
 	return hex.EncodeToString(sum[:])
+}
+
+// KeyHash maps a cache key (or any ring label) to a uint64 ring
+// position. It is the sharding hash of internal/cluster: a coordinator
+// consistent-hashes Spec.Key() onto a ring of workers so every key has
+// one home worker whose memo table and store stay hot for it. The
+// definition lives next to Key so the cache key and the sharding hash
+// evolve together — FNV-1a over the exact bytes the key is made of.
+func KeyHash(key string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(key)) //nolint:errcheck // fnv never fails
+	return h.Sum64()
 }
 
 // Simulate builds, compiles, and runs the spec. It is pure: safe to

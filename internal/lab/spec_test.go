@@ -177,3 +177,25 @@ func TestSpecHashShape(t *testing.T) {
 		t.Error("distinct specs share a hash")
 	}
 }
+
+// TestKeyHashStableAndDistinct pins the sharding hash: the ring
+// position of a key must never drift between builds (a drift would
+// silently re-home every shard and cold every worker cache), and
+// distinct keys must not trivially collide.
+func TestKeyHashStableAndDistinct(t *testing.T) {
+	// FNV-1a of "wish" — a frozen reference value. If this changes,
+	// the cluster's key→worker assignment changes with it; that is a
+	// deliberate re-shard, not a refactor.
+	if got := KeyHash("wish"); got != 0xa67c04f655af32b6 {
+		t.Errorf("KeyHash(\"wish\") = %#x, want the frozen 0xa67c04f655af32b6", got)
+	}
+	a := testSpec()
+	b := testSpec()
+	b.Scale = 0.5
+	if KeyHash(a.Key()) == KeyHash(b.Key()) {
+		t.Error("distinct spec keys hashed to the same ring position")
+	}
+	if KeyHash(a.Key()) != KeyHash(a.Key()) {
+		t.Error("KeyHash is not a pure function")
+	}
+}

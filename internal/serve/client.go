@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"math/rand"
@@ -183,21 +184,26 @@ func (c *Client) do(ctx context.Context, path string, in, out any) error {
 	}
 }
 
-// statusError is a non-2xx answer; it keeps the status and the
-// server's Retry-After hint for the backoff computation.
-type statusError struct {
-	status     int
-	msg        string
-	retryAfter time.Duration
+// StatusError is a non-2xx answer. It keeps the status and the
+// server's Retry-After hint so callers that do their own routing — the
+// cluster coordinator re-homing a shard, or this client's backoff —
+// can distinguish "the worker is overloaded" (429, wait Retry-After)
+// from "the worker is broken" (5xx, route around it) from "the request
+// is wrong" (4xx, give up).
+type StatusError struct {
+	Status     int
+	Msg        string
+	RetryAfter time.Duration
 }
 
-func (e *statusError) Error() string {
-	return fmt.Sprintf("serve: server answered %d: %s", e.status, e.msg)
+func (e *StatusError) Error() string {
+	return fmt.Sprintf("serve: server answered %d: %s", e.Status, e.Msg)
 }
 
 func retryAfterOf(err error) time.Duration {
-	if se, ok := err.(*statusError); ok {
-		return se.retryAfter
+	var se *StatusError
+	if errors.As(err, &se) {
+		return se.RetryAfter
 	}
 	return 0
 }
@@ -218,9 +224,9 @@ func (c *Client) attempt(ctx context.Context, path string, body []byte, out any)
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
-		se := &statusError{status: resp.StatusCode, msg: readErrBody(resp.Body)}
+		se := &StatusError{Status: resp.StatusCode, Msg: readErrBody(resp.Body)}
 		if secs, aerr := strconv.Atoi(resp.Header.Get("Retry-After")); aerr == nil && secs > 0 {
-			se.retryAfter = time.Duration(secs) * time.Second
+			se.RetryAfter = time.Duration(secs) * time.Second
 		}
 		return resp.StatusCode == http.StatusTooManyRequests || resp.StatusCode >= 500, se
 	}

@@ -1,0 +1,78 @@
+package serve
+
+import (
+	"testing"
+	"time"
+)
+
+// TestRetryAfterEstimator unit-tests the queue-drain estimate behind
+// the 429 hint: pending runs × recent mean run latency ÷ workers,
+// clamped to [1s, 60s], with the fixed default before any latency
+// signal exists.
+func TestRetryAfterEstimator(t *testing.T) {
+	mk := func(workers int) *Server {
+		s := &Server{Workers: workers}
+		s.init()
+		return s
+	}
+	record := func(s *Server, ds ...time.Duration) {
+		for _, d := range ds {
+			s.lat[s.latIdx] = d
+			s.latIdx = (s.latIdx + 1) % latencyWindow
+			if s.latN < latencyWindow {
+				s.latN++
+			}
+		}
+	}
+
+	t.Run("no signal falls back to the default", func(t *testing.T) {
+		s := mk(2)
+		s.pending.Store(100)
+		if got := s.retryAfterHint(); got != defaultRetryAfter {
+			t.Errorf("hint = %d before any run, want %d", got, defaultRetryAfter)
+		}
+	})
+	t.Run("backlog divided by pool, rounded up", func(t *testing.T) {
+		s := mk(2)
+		record(s, 2*time.Second, 2*time.Second, 2*time.Second, 2*time.Second)
+		s.pending.Store(8)
+		// 8 pending × 2s mean ÷ 2 workers = 8s of drain.
+		if got := s.retryAfterHint(); got != 8 {
+			t.Errorf("hint = %d, want 8", got)
+		}
+		s.pending.Store(3)
+		// 3 × 2s ÷ 2 = 3s.
+		if got := s.retryAfterHint(); got != 3 {
+			t.Errorf("hint = %d, want 3", got)
+		}
+		record(s, 0, 0, 0, 0) // fractional seconds round up, mean now 1s
+		s.pending.Store(3)
+		// 3 × 1s ÷ 2 = 1.5s → 2s.
+		if got := s.retryAfterHint(); got != 2 {
+			t.Errorf("hint = %d, want the 2s round-up", got)
+		}
+	})
+	t.Run("mean is over a sliding window", func(t *testing.T) {
+		s := mk(1)
+		record(s, time.Hour) // ancient outlier...
+		for i := 0; i < latencyWindow; i++ {
+			record(s, time.Second) // ...pushed out by a full window
+		}
+		if got := s.meanRunLatency(); got != time.Second {
+			t.Errorf("mean = %v after the outlier aged out, want 1s", got)
+		}
+	})
+	t.Run("clamped to the floor and ceiling", func(t *testing.T) {
+		s := mk(8)
+		record(s, time.Millisecond)
+		s.pending.Store(1)
+		if got := s.retryAfterHint(); got != defaultRetryAfter {
+			t.Errorf("hint = %d for a near-empty queue, want the %ds floor", got, defaultRetryAfter)
+		}
+		record(s, 10*time.Minute, 10*time.Minute)
+		s.pending.Store(1000)
+		if got := s.retryAfterHint(); got != maxRetryAfter {
+			t.Errorf("hint = %d for a huge backlog, want the %ds ceiling", got, maxRetryAfter)
+		}
+	})
+}

@@ -53,8 +53,12 @@ import (
 const (
 	DefaultQueueDepth   = 256
 	DefaultMaxTimeout   = 10 * time.Minute
-	defaultRetryAfter   = 1 // seconds, 429/503 hint
+	defaultRetryAfter   = 1  // seconds, the hint when no latency has been observed yet
+	maxRetryAfter       = 60 // seconds, ceiling of the queue-drain estimate
 	maxRequestBodyBytes = 8 << 20
+	// latencyWindow is how many recent run latencies feed the
+	// Retry-After estimator.
+	latencyWindow = 32
 )
 
 // Server executes simulation requests through one shared lab.Lab.
@@ -96,6 +100,12 @@ type Server struct {
 	reqs   map[string]uint64
 	resps  map[string]uint64
 	stalls [obs.NumBuckets]uint64
+	// lat is a ring of the most recent run latencies (memo hits
+	// included — a mostly-cached workload drains its queue fast, and
+	// the Retry-After estimate should say so).
+	lat    [latencyWindow]time.Duration
+	latN   int // occupied entries of lat
+	latIdx int // next write position
 }
 
 func (s *Server) init() {
@@ -189,15 +199,58 @@ func (s *Server) execute(ctx context.Context, spec lab.Spec) (*cpu.Result, error
 		return nil, ctx.Err()
 	}
 	defer func() { <-s.slots }()
+	t0 := time.Now()
 	res, err := s.Lab.ResultContext(ctx, spec)
 	if err == nil {
 		s.mu.Lock()
 		for b, n := range res.Acct.Buckets {
 			s.stalls[b] += n
 		}
+		s.lat[s.latIdx] = time.Since(t0)
+		s.latIdx = (s.latIdx + 1) % latencyWindow
+		if s.latN < latencyWindow {
+			s.latN++
+		}
 		s.mu.Unlock()
 	}
 	return res, err
+}
+
+// meanRunLatency averages the recent-latency ring (zero before the
+// first completed run).
+func (s *Server) meanRunLatency() time.Duration {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.latN == 0 {
+		return 0
+	}
+	var sum time.Duration
+	for _, d := range s.lat[:s.latN] {
+		sum += d
+	}
+	return sum / time.Duration(s.latN)
+}
+
+// retryAfterHint estimates, in whole seconds, how long a shed client
+// should wait before retrying: the time for the current backlog to
+// drain through the worker pool (pending runs × recent mean run
+// latency ÷ workers), clamped to [defaultRetryAfter, maxRetryAfter].
+// Before any run has completed there is no latency signal and the
+// hint falls back to defaultRetryAfter.
+func (s *Server) retryAfterHint() int {
+	mean := s.meanRunLatency()
+	if mean <= 0 {
+		return defaultRetryAfter
+	}
+	drain := time.Duration(s.pending.Load()) * mean / time.Duration(s.Workers)
+	secs := int((drain + time.Second - 1) / time.Second)
+	if secs < defaultRetryAfter {
+		return defaultRetryAfter
+	}
+	if secs > maxRetryAfter {
+		return maxRetryAfter
+	}
+	return secs
 }
 
 // timeout resolves a request's deadline: the client's ask, capped by
@@ -307,15 +360,17 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	s.count("metrics")
 	c := s.Lab.Counters()
 	m := Metrics{
-		Schema:     APISchema,
-		UptimeSecs: time.Since(s.started).Seconds(),
-		Draining:   s.draining.Load(),
-		Workers:    s.Workers,
-		QueueDepth: s.QueueDepth,
-		Pending:    s.pending.Load(),
-		InFlight:   s.Lab.InFlight(),
-		Requests:   make(map[string]uint64),
-		Responses:  make(map[string]uint64),
+		Schema:         APISchema,
+		UptimeSecs:     time.Since(s.started).Seconds(),
+		Draining:       s.draining.Load(),
+		Workers:        s.Workers,
+		QueueDepth:     s.QueueDepth,
+		Pending:        s.pending.Load(),
+		InFlight:       s.Lab.InFlight(),
+		MeanRunMs:      float64(s.meanRunLatency()) / float64(time.Millisecond),
+		RetryAfterSecs: s.retryAfterHint(),
+		Requests:       make(map[string]uint64),
+		Responses:      make(map[string]uint64),
 		Lab: LabMetrics{
 			Fresh:    c.Fresh,
 			DiskHits: c.DiskHits,
@@ -391,9 +446,18 @@ func (s *Server) reject(w http.ResponseWriter, status int, msg string) {
 }
 
 // rejectBusy answers an admission rejection (429 queue full, 503
-// draining) with a Retry-After hint.
+// draining) with a Retry-After hint. The 429 hint is the queue-drain
+// estimate — how long the current backlog takes to clear — so clients
+// back off proportionally to the actual overload instead of hammering
+// a fixed one-second cadence. A draining server keeps the minimal
+// hint: it is going away, and the client's next try should land on
+// whoever replaces it.
 func (s *Server) rejectBusy(w http.ResponseWriter, status int) {
-	w.Header().Set("Retry-After", strconv.Itoa(defaultRetryAfter))
+	hint := defaultRetryAfter
+	if status == http.StatusTooManyRequests {
+		hint = s.retryAfterHint()
+	}
+	w.Header().Set("Retry-After", strconv.Itoa(hint))
 	msg := "serve: draining, not accepting new work"
 	if status == http.StatusTooManyRequests {
 		msg = fmt.Sprintf("serve: queue full (%d pending, capacity %d)",
@@ -402,13 +466,23 @@ func (s *Server) rejectBusy(w http.ResponseWriter, status int) {
 	s.reject(w, status, msg)
 }
 
-func (s *Server) writeJSON(w http.ResponseWriter, status int, v any) {
-	s.countResp(status)
-	w.Header().Set("Content-Type", "application/json")
+// WriteJSON writes v as the response body with the headers every
+// endpoint of the wire API promises: an explicit JSON content type
+// (errors included — a client must never have to sniff a rejection)
+// and nosniff so nothing downstream second-guesses it. Exported for
+// internal/cluster, whose coordinator speaks the same wire format.
+func WriteJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	w.Header().Set("X-Content-Type-Options", "nosniff")
 	w.WriteHeader(status)
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	enc.Encode(v) //nolint:errcheck // nothing to do about a dead client
+}
+
+func (s *Server) writeJSON(w http.ResponseWriter, status int, v any) {
+	s.countResp(status)
+	WriteJSON(w, status, v)
 }
 
 func (s *Server) count(endpoint string) {

@@ -244,8 +244,8 @@ func TestServeRequestTimeout(t *testing.T) {
 	req := RunRequest{Schema: APISchema, Spec: cheapSpec(), TimeoutMs: 50}
 	var resp RunResponse
 	err := cl.do(context.Background(), "/v1/run", req, &resp)
-	var se *statusError
-	if !errors.As(err, &se) || se.status != http.StatusGatewayTimeout {
+	var se *StatusError
+	if !errors.As(err, &se) || se.Status != http.StatusGatewayTimeout {
 		t.Fatalf("err = %v, want a 504", err)
 	}
 	waitFor(t, func() bool { return l.Counters().Canceled == 1 })

@@ -100,6 +100,12 @@ type Metrics struct {
 	QueueDepth int   `json:"queue_depth"`
 	Pending    int64 `json:"pending"`
 	InFlight   int   `json:"in_flight_sims"`
+	// MeanRunMs is the mean latency of the most recent runs (memo
+	// hits included) — the signal behind the 429 Retry-After hint.
+	MeanRunMs float64 `json:"mean_run_ms"`
+	// RetryAfterSecs is the hint a 429 would carry right now:
+	// pending × mean run latency ÷ workers, clamped.
+	RetryAfterSecs int `json:"retry_after_secs"`
 
 	Requests  map[string]uint64 `json:"requests"`
 	Responses map[string]uint64 `json:"responses"`
