@@ -1,13 +1,20 @@
 package compiler
 
 // Random structured-program generation for differential testing: the
-// generated sources exercise nested hammocks, OR-conditions, and
-// counted loops, and by construction their five binary variants must
-// compute identical accumulator values (GenAccBase..GenAccBase+GenAccs-1)
-// and leave the machine halted. Both the compiler's functional fuzz
-// test and the cpu package's full-pipeline fuzz test build on this.
+// generated sources exercise nested hammocks, OR-conditions, counted
+// loops, guarded loads/stores over a private memory window, and
+// CALL/RET pairs, and by construction their five binary variants must
+// compute identical accumulator values (GenAccBase..GenAccBase+GenAccs-1),
+// identical window contents, and leave the machine halted. The
+// compiler's functional fuzz test, the cpu package's full-pipeline
+// fuzz test, and the internal/harness conformance oracles all build
+// on this.
 
-import "wishbranch/internal/isa"
+import (
+	"fmt"
+
+	"wishbranch/internal/isa"
+)
 
 // Accumulator register convention for generated programs: these are the
 // registers whose final values are architecturally meaningful.
@@ -23,22 +30,70 @@ func (g *genRNG) next() uint64 {
 }
 func (g *genRNG) intn(n int) int { return int(g.next() % uint64(n)) }
 
-// Live registers: r16..r19 accumulators, r1 outer counter. Scratch:
-// r2..r9 (may diverge across lowerings per the Term contract, so the
-// generator only reads a scratch register in the same Straight node
-// that wrote it, or uses accumulators).
+// Live registers: r16..r19 accumulators, r1 outer counter, r15 window
+// base (written once in the prologue, read-only after), r14 subroutine
+// loop counter (subroutines are only called from call sites whose
+// enclosing loops use r1/r11..r13, so r14 never aliases a live
+// counter). Scratch: r2..r9 (may diverge across lowerings per the Term
+// contract, so the generator only reads a scratch register in the same
+// Straight node that wrote it, or uses accumulators).
 const (
 	GenAccBase = 16
 	GenAccs    = 4
+
+	// GenMemBase/GenMemWords bound the private address window generated
+	// programs may load from or store to: GenMemWords 8-byte words
+	// starting at byte address GenMemBase. Final window contents are
+	// architecturally meaningful, like the accumulators.
+	GenMemBase  = 1 << 20
+	GenMemWords = 64
+
+	genWindowBase = 15 // register holding GenMemBase
+	genSubCounter = 14 // loop counter reserved for subroutine bodies
 )
 
-// genStraight emits 1..6 µops over the accumulators.
-func genStraight(g *genRNG) Straight {
+// genStraight emits 1..6 logical ops over the accumulators: ALU
+// immediates, plus (when mem is true) loads and stores whose addresses
+// are data-dependent on an accumulator but masked into the private
+// window. The address computation writes scratch r4 and is consumed in
+// the same Straight node, honoring the scratch contract.
+func genStraight(g *genRNG, mem bool) Straight {
 	ops := []isa.Op{isa.OpAdd, isa.OpXor, isa.OpSub, isa.OpOr, isa.OpAnd, isa.OpMul, isa.OpShr}
 	n := 1 + g.intn(6)
 	var is []isa.Inst
 	for i := 0; i < n; i++ {
 		acc := isa.Reg(GenAccBase + g.intn(GenAccs))
+		if mem && g.intn(4) == 0 {
+			// Data-dependent address: index = acc & (words-1), byte
+			// offset = index << 3, absolute = base + offset.
+			addr := func() {
+				is = append(is,
+					isa.ALUI(isa.OpAnd, 4, acc, GenMemWords-1),
+					isa.ALUI(isa.OpShl, 4, 4, 3),
+					isa.ALU(isa.OpAdd, 4, 4, genWindowBase),
+				)
+			}
+			switch g.intn(3) {
+			case 0: // store to data-dependent slot
+				addr()
+				src := isa.Reg(GenAccBase + g.intn(GenAccs))
+				is = append(is, isa.Store(4, 0, src))
+			case 1: // load from data-dependent slot
+				addr()
+				dst := isa.Reg(GenAccBase + g.intn(GenAccs))
+				is = append(is, isa.Load(dst, 4, 0))
+			default: // static-offset store+load pair: exercises
+				// same-word store-to-load forwarding (cpu.storeTab).
+				off := int64(8 * g.intn(GenMemWords))
+				src := isa.Reg(GenAccBase + g.intn(GenAccs))
+				dst := isa.Reg(GenAccBase + g.intn(GenAccs))
+				is = append(is,
+					isa.Store(genWindowBase, off, src),
+					isa.Load(dst, genWindowBase, off),
+				)
+			}
+			continue
+		}
 		op := ops[g.intn(len(ops))]
 		imm := int64(g.intn(1000)) + 1
 		if op == isa.OpAnd {
@@ -70,17 +125,23 @@ func genCond(g *genRNG) Cond {
 	return CondOf(term(2))
 }
 
-// genNodes emits a random node list with bounded depth and size.
-func genNodes(g *genRNG, depth, budget int) []Node {
+// genNodes emits a random node list with bounded depth and size. Call
+// nodes are only emitted when callable is non-empty AND the list is not
+// nested inside a predicated region or counted loop — the caller passes
+// nil below any construct whose lowering would guard the call or whose
+// counter registers a subroutine body could clobber.
+func genNodes(g *genRNG, depth, budget int, callable []string) []Node {
 	var nodes []Node
 	for budget > 0 {
 		switch {
+		case len(callable) > 0 && g.intn(5) == 0:
+			nodes = append(nodes, Call{Name: callable[g.intn(len(callable))]})
 		case depth > 0 && g.intn(3) == 0:
 			// Nested If.
 			nodes = append(nodes, If{
 				Cond: genCond(g),
-				Then: genNodes(g, depth-1, 1+g.intn(2)),
-				Else: genNodes(g, depth-1, g.intn(2)),
+				Then: genNodes(g, depth-1, 1+g.intn(2), nil),
+				Else: genNodes(g, depth-1, g.intn(2), nil),
 				Prof: Profile{TakenProb: 0.5, MispredRate: float64(g.intn(40)) / 100},
 			})
 		case depth > 0 && g.intn(5) == 0:
@@ -91,38 +152,81 @@ func genNodes(g *genRNG, depth, budget int) []Node {
 			trips := int64(1 + g.intn(4))
 			nodes = append(nodes, S(isa.MovI(ctr, 0)))
 			nodes = append(nodes, DoWhile{
-				Body: append(genNodes(g, depth-1, 1),
+				Body: append(genNodes(g, depth-1, 1, nil),
 					S(isa.ALUI(isa.OpAdd, ctr, ctr, 1))),
 				Cond: CondOf(TermRI(isa.CmpLT, ctr, trips)),
 			})
 		default:
-			nodes = append(nodes, genStraight(g))
+			nodes = append(nodes, genStraight(g, true))
 		}
 		budget--
 	}
 	return nodes
 }
 
+// genSub builds a small subroutine body: straight work over the
+// accumulators and window, an optional hammock, and an optional tiny
+// counted loop on the reserved r14 counter. Subroutine bodies never
+// contain calls (the lowerer forbids nested subroutine calls).
+func genSub(g *genRNG, name string) Subroutine {
+	body := []Node{genStraight(g, true)}
+	if g.intn(2) == 0 {
+		body = append(body, If{
+			Cond: genCond(g),
+			Then: []Node{genStraight(g, true)},
+			Else: genNodes(g, 0, g.intn(2), nil),
+			Prof: Profile{TakenProb: 0.5, MispredRate: float64(g.intn(40)) / 100},
+		})
+	}
+	if g.intn(3) == 0 {
+		trips := int64(1 + g.intn(3))
+		body = append(body,
+			S(isa.MovI(genSubCounter, 0)),
+			DoWhile{
+				Body: []Node{genStraight(g, false),
+					S(isa.ALUI(isa.OpAdd, genSubCounter, genSubCounter, 1))},
+				Cond: CondOf(TermRI(isa.CmpLT, genSubCounter, trips)),
+			})
+	}
+	return Subroutine{Name: name, Body: body}
+}
+
 func genProgram(seed uint64) *Source {
 	g := &genRNG{s: seed}
+
+	// 0..2 subroutines, generated before the body so the RNG stream
+	// that shapes the body is independent of subroutine internals.
+	var subs []Subroutine
+	var callable []string
+	for i, n := 0, g.intn(3); i < n; i++ {
+		name := fmt.Sprintf("f%d", i)
+		subs = append(subs, genSub(g, name))
+		callable = append(callable, name)
+	}
+
 	body := []Node{S(
 		isa.MovI(1, 0),
+		isa.MovI(genWindowBase, GenMemBase),
 		isa.MovI(16, int64(g.intn(100))),
 		isa.MovI(17, int64(g.intn(100))),
 		isa.MovI(18, 0),
 		isa.MovI(19, 1),
 	)}
+	// Calls may appear at the top level of the outer loop body: the
+	// lowerer makes any call-containing region branchy (calls cannot be
+	// predicated), and subroutine loops use r14, which no enclosing
+	// construct at this level holds live.
 	body = append(body, DoWhile{
-		Body: append(genNodes(g, 3, 2+g.intn(4)),
+		Body: append(genNodes(g, 3, 2+g.intn(4), callable),
 			S(isa.ALUI(isa.OpAdd, 1, 1, 1))),
 		Cond: CondOf(TermRI(isa.CmpLT, 1, int64(50+g.intn(200)))),
 	})
-	return &Source{Name: "fuzz", Body: body}
+	return &Source{Name: "fuzz", Body: body, Subs: subs}
 }
 
 // GenRandomSource builds a deterministic random structured program for
 // the given seed. All five Variants of the result are architecturally
-// equivalent on the accumulators.
+// equivalent on the accumulators and the private memory window.
 func GenRandomSource(seed uint64) *Source {
 	return genProgram(seed)
 }

@@ -122,6 +122,18 @@ func (c *CPU) rename(u *uop) {
 			addPredSrcs()
 			addLoadDeps()
 		}
+	case guarded && c.cfg.PredMech == config.SelectUop &&
+		!in.WritesInt() && !in.WritesPred():
+		// Guarded µop with no register destination (a predicated store):
+		// there is no value to merge, so no select µop — needsSelect
+		// reserved a single window slot and a second push here would
+		// overflow the window. The store consumes its predicate directly
+		// instead: the store buffer cannot release a predicated store
+		// until its guard resolves.
+		addIntSrcs()
+		addPredSrcs()
+		addLoadDeps()
+		u.addDep(c.predWriter[in.Guard])
 	case guarded && c.cfg.PredMech == config.SelectUop:
 		// The predicated µop executes without its predicate; the select
 		// µop merges old/new values and carries the dependents.

@@ -32,6 +32,20 @@ func (c *CPU) RunContext(ctx context.Context, maxCycles uint64) (*Result, error)
 	if done == nil {
 		return c.Run(maxCycles)
 	}
+	// An already-cancelled context must not simulate anything: without
+	// this upfront poll a dead context would still run up to 32Ki
+	// wake-ups before the first countdown poll. Returning here leaves
+	// the CPU in a clean resumable state — the µop arena, free-list,
+	// and writer tables are untouched, so a later RunContext call picks
+	// up exactly where this one stopped (TestRunContextPreCancelled).
+	select {
+	case <-done:
+		c.res.Cycles = c.cycle
+		c.finishRun()
+		return &c.res, fmt.Errorf("cpu: run cancelled at cycle %d (pc=%d, retired=%d): %w",
+			c.cycle, c.st.PC, c.res.RetiredUops, ctx.Err())
+	default:
+	}
 	if maxCycles == 0 {
 		maxCycles = 1 << 40
 	}

@@ -90,6 +90,41 @@ func TestRunContextCancel(t *testing.T) {
 	}
 }
 
+// TestRunContextPreCancelled: a context that is dead on arrival must
+// return before simulating a single cycle, and must leave the CPU —
+// µop arena, free-list, writer tables, store queue — in a clean
+// resumable state. Interrupt the same CPU twice, then let it finish,
+// and require the final result bit-identical to an uninterrupted run:
+// any arena corruption from the aborted calls shows up as a diverging
+// cycle count, retire count, or cache statistic.
+func TestRunContextPreCancelled(t *testing.T) {
+	want, err := newGzipCPU(t, 0.05).Run(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	c := newGzipCPU(t, 0.05)
+	dead, cancel := context.WithCancel(context.Background())
+	cancel()
+	for i := 0; i < 2; i++ {
+		res, err := c.RunContext(dead, 0)
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("interrupt %d: error %v does not wrap context.Canceled", i, err)
+		}
+		if res.Cycles != 0 || res.RetiredUops != 0 {
+			t.Fatalf("interrupt %d simulated work before the upfront poll: %d cycles, %d retired",
+				i, res.Cycles, res.RetiredUops)
+		}
+	}
+	got, err := c.RunContext(context.Background(), 0)
+	if err != nil {
+		t.Fatalf("resume after pre-cancelled calls: %v", err)
+	}
+	if !reflect.DeepEqual(want, got) {
+		t.Errorf("resumed run differs from uninterrupted run:\n%+v\nvs\n%+v", want, got)
+	}
+}
+
 // TestRunContextDeadline: an already-expired deadline surfaces as
 // context.DeadlineExceeded.
 func TestRunContextDeadline(t *testing.T) {

@@ -1,0 +1,33 @@
+package harness
+
+// The mutation kill-switch: a deliberately re-introducible miscompile
+// that exercises the whole detection pipeline. Trusting a fuzzer that
+// has never found a bug is how silent conformance rot starts, so the
+// test suite (and `wishfuzz -kill-switch`) flips this knob and demands
+// that the harness detects the failure, shrinks it to a minimal
+// program, and emits a repro that replays to the same verdict.
+
+import (
+	"wishbranch/internal/isa"
+	"wishbranch/internal/prog"
+)
+
+// DropFirstGuard simulates the classic if-conversion bug family the
+// arch oracle exists to catch — a predicated instruction losing its
+// qualifying predicate during lowering (cf. the guard-materialization
+// hazards in branch-melding transforms): the first guarded
+// integer-writing µop in p has its guard promoted to P0, making it
+// execute unconditionally. On any program where that guard is ever
+// architecturally false, the mutated binary diverges from
+// NormalBranch. Returns false if p contains no such µop (the mutation
+// had nothing to break).
+func DropFirstGuard(p *prog.Program) bool {
+	for i := range p.Code {
+		in := &p.Code[i]
+		if in.Guard != isa.P0 && !in.IsBranch() && in.WritesInt() {
+			in.Guard = isa.P0
+			return true
+		}
+	}
+	return false
+}

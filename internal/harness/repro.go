@@ -1,0 +1,91 @@
+package harness
+
+// Self-contained failure repros. A repro file carries everything a
+// fresh checkout needs to re-demonstrate a conformance failure: the
+// oracle name (which reconstructs the exact oracle, kill-switch
+// setting included), the seed, the minimized program in kind-tagged
+// JSON, the failing error text, and the one-line replay command. The
+// minimized source — not the seed — is authoritative when present, so
+// repros stay valid across generator changes.
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// ReproSchema versions the repro file format.
+const ReproSchema = 1
+
+// Repro is the on-disk failure record.
+type Repro struct {
+	Schema int         `json:"schema"`
+	Oracle string      `json:"oracle"`
+	Seed   uint64      `json:"seed"`
+	Err    string      `json:"error"`
+	Nodes  int         `json:"nodes,omitempty"`
+	Source *jsonSource `json:"source,omitempty"`
+	Replay string      `json:"replay"`
+}
+
+// Case reconstructs the conformance case: the minimized source when
+// the repro carries one, the seed's generated program otherwise.
+func (r *Repro) Case() (Case, error) {
+	if r.Source == nil {
+		return NewCase(r.Seed), nil
+	}
+	src, err := decodeSource(r.Source)
+	if err != nil {
+		return Case{}, err
+	}
+	return Case{Seed: r.Seed, Source: src}, nil
+}
+
+// WriteRepro writes r as indented JSON.
+func WriteRepro(path string, r *Repro) error {
+	b, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
+}
+
+// LoadRepro parses a repro file, rejecting unknown schemas.
+func LoadRepro(path string) (*Repro, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r Repro
+	if err := json.Unmarshal(b, &r); err != nil {
+		return nil, fmt.Errorf("harness: repro decode: %w", err)
+	}
+	if r.Schema != ReproSchema {
+		return nil, fmt.Errorf("harness: repro schema %d (want %d)", r.Schema, ReproSchema)
+	}
+	if r.Oracle == "" {
+		return nil, fmt.Errorf("harness: repro missing oracle name")
+	}
+	return &r, nil
+}
+
+// Replay re-runs a repro file under its recorded oracle. verdict is
+// the oracle's error when the failure still reproduces (nil verdict
+// means the failure no longer occurs — fixed, or the repro has
+// rotted); err reports problems with the repro itself.
+func Replay(ctx context.Context, path string) (verdict, err error) {
+	r, err := LoadRepro(path)
+	if err != nil {
+		return nil, fmt.Errorf("harness: %s: %w", path, err)
+	}
+	o, err := OracleByName(r.Oracle)
+	if err != nil {
+		return nil, fmt.Errorf("harness: %s: %w", path, err)
+	}
+	c, err := r.Case()
+	if err != nil {
+		return nil, fmt.Errorf("harness: %s: %w", path, err)
+	}
+	return o.Check(ctx, c), nil
+}

@@ -1,0 +1,222 @@
+package harness
+
+// Greedy structural shrinking: when an oracle fails, the engine walks
+// the generated program's IR tree emitting single-step reductions —
+// delete a node, unwrap an If into one of its arms, unwrap a loop into
+// its body, drop a condition term, trim a Straight node's µops, drop a
+// subroutine together with its call sites — and re-runs the failing
+// oracle after each. The first reduction that still fails becomes the
+// new current program and the walk restarts; the process is a greedy
+// fixpoint bounded by an oracle-check budget. Reductions are pure
+// tree rebuilds with structural sharing (nothing is mutated in place),
+// so candidates are cheap and the original case survives intact.
+
+import (
+	"context"
+	"fmt"
+
+	"wishbranch/internal/compiler"
+	"wishbranch/internal/isa"
+)
+
+// CountNodes returns the number of structured IR nodes in src,
+// including subroutine bodies — the size metric shrinking minimizes
+// and the acceptance bar the kill-switch test holds it to.
+func CountNodes(src *compiler.Source) int {
+	if src == nil {
+		return 0
+	}
+	n := countList(src.Body)
+	for _, sub := range src.Subs {
+		n += countList(sub.Body)
+	}
+	return n
+}
+
+func countList(nodes []compiler.Node) int {
+	n := 0
+	for _, node := range nodes {
+		n++
+		switch t := node.(type) {
+		case compiler.If:
+			n += countList(t.Then) + countList(t.Else)
+		case compiler.DoWhile:
+			n += countList(t.Body)
+		case compiler.While:
+			n += countList(t.Body)
+		}
+	}
+	return n
+}
+
+// ShrinkCase minimizes c.Source while o keeps failing, spending at
+// most budget oracle checks. It returns the smallest still-failing
+// source found and the oracle error it fails with. If the original
+// case no longer fails (a flaky oracle — itself a bug, since the whole
+// stack is deterministic), the original source is returned with an
+// error saying so.
+func ShrinkCase(ctx context.Context, o Oracle, c Case, budget int) (*compiler.Source, error) {
+	cur := c.Source
+	curErr := o.Check(ctx, Case{Seed: c.Seed, Source: cur})
+	if curErr == nil {
+		return cur, fmt.Errorf("harness: shrink: original case no longer fails oracle %s (non-deterministic oracle?)", o.Name())
+	}
+	checks := 1
+	for checks < budget && ctx.Err() == nil {
+		progressed := false
+		for _, cand := range reductions(cur) {
+			if checks >= budget || ctx.Err() != nil {
+				break
+			}
+			checks++
+			err := o.Check(ctx, Case{Seed: c.Seed, Source: cand})
+			if ctx.Err() != nil {
+				break
+			}
+			if err != nil {
+				cur, curErr = cand, err
+				progressed = true
+				break
+			}
+		}
+		if !progressed {
+			break
+		}
+	}
+	return cur, curErr
+}
+
+// reductions enumerates every single-step reduction of src, roughly
+// most-aggressive first (whole-node deletions and unwraps before
+// intra-node trims) so the greedy loop takes big steps while it can.
+func reductions(src *compiler.Source) []*compiler.Source {
+	var out []*compiler.Source
+	reduceList(src.Body, func(body []compiler.Node) {
+		out = append(out, &compiler.Source{Name: src.Name, Body: body, Subs: src.Subs})
+	})
+	for i := range src.Subs {
+		// Drop subroutine i and every call site referencing it.
+		name := src.Subs[i].Name
+		subs := make([]compiler.Subroutine, 0, len(src.Subs)-1)
+		subs = append(subs, src.Subs[:i]...)
+		subs = append(subs, src.Subs[i+1:]...)
+		out = append(out, &compiler.Source{
+			Name: src.Name, Body: removeCalls(src.Body, name), Subs: subs})
+	}
+	for i := range src.Subs {
+		i := i
+		reduceList(src.Subs[i].Body, func(body []compiler.Node) {
+			subs := append([]compiler.Subroutine(nil), src.Subs...)
+			subs[i] = compiler.Subroutine{Name: subs[i].Name, Body: body}
+			out = append(out, &compiler.Source{Name: src.Name, Body: src.Body, Subs: subs})
+		})
+	}
+	return out
+}
+
+// reduceList emits every single-step reduction of one node list.
+func reduceList(nodes []compiler.Node, emit func([]compiler.Node)) {
+	splice := func(i int, rep []compiler.Node) []compiler.Node {
+		out := make([]compiler.Node, 0, len(nodes)-1+len(rep))
+		out = append(out, nodes[:i]...)
+		out = append(out, rep...)
+		out = append(out, nodes[i+1:]...)
+		return out
+	}
+	for i, n := range nodes {
+		emit(splice(i, nil)) // delete the node outright
+		switch t := n.(type) {
+		case compiler.If:
+			if len(t.Then) > 0 {
+				emit(splice(i, t.Then)) // unwrap into the then arm
+			}
+			if len(t.Else) > 0 {
+				emit(splice(i, t.Else))
+			}
+			if len(t.Cond.Terms) > 1 {
+				for j := range t.Cond.Terms {
+					c := t
+					c.Cond = compiler.CondOf(removeTerm(t.Cond.Terms, j)...)
+					emit(splice(i, []compiler.Node{c}))
+				}
+			}
+			reduceList(t.Then, func(nb []compiler.Node) {
+				c := t
+				c.Then = nb
+				emit(splice(i, []compiler.Node{c}))
+			})
+			reduceList(t.Else, func(nb []compiler.Node) {
+				c := t
+				c.Else = nb
+				emit(splice(i, []compiler.Node{c}))
+			})
+		case compiler.DoWhile:
+			if len(t.Body) > 0 {
+				emit(splice(i, t.Body)) // unwrap: body runs once
+			}
+			reduceList(t.Body, func(nb []compiler.Node) {
+				c := t
+				c.Body = nb
+				emit(splice(i, []compiler.Node{c}))
+			})
+		case compiler.While:
+			if len(t.Body) > 0 {
+				emit(splice(i, t.Body))
+			}
+			reduceList(t.Body, func(nb []compiler.Node) {
+				c := t
+				c.Body = nb
+				emit(splice(i, []compiler.Node{c}))
+			})
+		case compiler.Straight:
+			switch {
+			case len(t.Insts) > 8:
+				// Halve first: per-µop deletion over long blocks would
+				// bloat the candidate list.
+				emit(splice(i, []compiler.Node{compiler.S(t.Insts[:len(t.Insts)/2]...)}))
+				emit(splice(i, []compiler.Node{compiler.S(t.Insts[len(t.Insts)/2:]...)}))
+			case len(t.Insts) > 1:
+				for j := range t.Insts {
+					trimmed := make([]isa.Inst, 0, len(t.Insts)-1)
+					trimmed = append(trimmed, t.Insts[:j]...)
+					trimmed = append(trimmed, t.Insts[j+1:]...)
+					emit(splice(i, []compiler.Node{compiler.S(trimmed...)}))
+				}
+			}
+		}
+	}
+}
+
+func removeTerm(terms []compiler.Term, j int) []compiler.Term {
+	out := make([]compiler.Term, 0, len(terms)-1)
+	out = append(out, terms[:j]...)
+	out = append(out, terms[j+1:]...)
+	return out
+}
+
+// removeCalls filters every Call to name out of the tree.
+func removeCalls(nodes []compiler.Node, name string) []compiler.Node {
+	out := make([]compiler.Node, 0, len(nodes))
+	for _, n := range nodes {
+		switch t := n.(type) {
+		case compiler.Call:
+			if t.Name == name {
+				continue
+			}
+			out = append(out, t)
+		case compiler.If:
+			t.Then = removeCalls(t.Then, name)
+			t.Else = removeCalls(t.Else, name)
+			out = append(out, t)
+		case compiler.DoWhile:
+			t.Body = removeCalls(t.Body, name)
+			out = append(out, t)
+		case compiler.While:
+			t.Body = removeCalls(t.Body, name)
+			out = append(out, t)
+		default:
+			out = append(out, n)
+		}
+	}
+	return out
+}
