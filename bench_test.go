@@ -22,6 +22,7 @@ import (
 	"wishbranch/internal/cpu"
 	"wishbranch/internal/emu"
 	"wishbranch/internal/exp"
+	"wishbranch/internal/lab"
 	"wishbranch/internal/obs"
 	"wishbranch/internal/workload"
 )
@@ -85,6 +86,37 @@ func BenchmarkFig15(b *testing.B)  { runExperiment(b, "fig15") }
 func BenchmarkFig16(b *testing.B)  { runExperiment(b, "fig16") }
 
 func BenchmarkObsStalls(b *testing.B) { runExperiment(b, "obs-stalls") }
+
+// BenchmarkCampaignWarm measures a fully-warm campaign: every result
+// is served from a persistent store populated before the timer starts,
+// and each iteration uses a fresh Lab (empty in-process memo) — so the
+// number is store-read + render cost, the latency a re-run of a cached
+// experiment actually pays. The bench gate's campaign/warm entry keeps
+// this path from regressing.
+func BenchmarkCampaignWarm(b *testing.B) {
+	e, ok := exp.ByID("fig10")
+	if !ok {
+		b.Fatal("unknown experiment fig10")
+	}
+	st, err := lab.OpenStore(b.TempDir())
+	if err != nil {
+		b.Fatal(err)
+	}
+	warm := benchLab()
+	warm.Sched.Store = st
+	if err := exp.Run(e, warm, io.Discard); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l := benchLab()
+		l.Sched.Store = st
+		if err := exp.Run(e, l, io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
 
 // BenchmarkHeadline reports the paper's headline comparison as metrics:
 // the average normalized execution time of the wish jump/join/loop

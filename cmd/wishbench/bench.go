@@ -3,6 +3,7 @@ package main
 import (
 	"encoding/json"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 	"time"
@@ -10,6 +11,8 @@ import (
 	"wishbranch/internal/compiler"
 	"wishbranch/internal/config"
 	"wishbranch/internal/cpu"
+	"wishbranch/internal/exp"
+	"wishbranch/internal/lab"
 	"wishbranch/internal/workload"
 )
 
@@ -76,7 +79,14 @@ const benchScale = 2.0
 // a shared CI host.
 const benchReps = 3
 
-// runBenchSuite measures every case and returns the fresh file.
+// runBenchSuite measures every case and returns the fresh file. After
+// the simulator regimes come the serving-path entries: the binary
+// result codec, the warm persistent-store read, and a fully-warm
+// campaign — the hot paths a cached re-run lives on. Their columns
+// reuse the same gate semantics: RetiredUops holds an exact-match
+// determinism witness (encoded sizes, rendered bytes), UopsPerSec a
+// relative throughput (bytes or operations per second), SteadyAlloc
+// the per-operation allocation count that must never grow.
 func runBenchSuite() (*BenchFile, error) {
 	out := &BenchFile{Schema: benchSchema, GoVersion: runtime.Version()}
 	for _, bc := range benchSuite() {
@@ -88,7 +98,221 @@ func runBenchSuite() (*BenchFile, error) {
 			bc.name, st.RetiredUops, st.UopsPerSec, st.SteadyAlloc)
 		out.Entries = append(out.Entries, st)
 	}
+	for _, fn := range []func() (BenchStat, error){runCodecBenchCase, runStoreBenchCase, runCampaignBenchCase} {
+		st, err := fn()
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", st.Name, err)
+		}
+		fmt.Fprintf(os.Stderr, "wishbench: bench %-28s %12d bytes %10.0f /s      %d allocs/op\n",
+			st.Name, st.RetiredUops, st.UopsPerSec, st.SteadyAlloc)
+		out.Entries = append(out.Entries, st)
+	}
 	return out, nil
+}
+
+// benchGateResult runs a small deterministic simulation whose result
+// (with a real branch table) feeds the codec and store cases.
+func benchGateResult() (*cpu.Result, error) {
+	b, ok := workload.ByName("gzip")
+	if !ok {
+		return nil, fmt.Errorf("unknown workload gzip")
+	}
+	src, mem := b.Build(workload.InputA, 0.05)
+	p, err := compiler.Compile(src, compiler.WishJumpJoinLoop)
+	if err != nil {
+		return nil, err
+	}
+	c, err := cpu.New(config.DefaultMachine(), p, mem)
+	if err != nil {
+		return nil, err
+	}
+	return c.Run(0)
+}
+
+// runCodecBenchCase gates the binary result codec: frame size is the
+// determinism witness (a layout change shows up as a size change even
+// before the golden test runs), throughput is encode+decode bytes per
+// second, and steady-state allocations per round-trip must stay 0 —
+// the reused-buffer contract TestResultCodecZeroAlloc pins.
+func runCodecBenchCase() (BenchStat, error) {
+	st := BenchStat{Name: "codec/result"}
+	res, err := benchGateResult()
+	if err != nil {
+		return st, err
+	}
+	frame := cpu.AppendResult(nil, res)
+	st.RetiredUops = uint64(len(frame))
+
+	buf := make([]byte, 0, cpu.EncodedResultSize(res))
+	var dec cpu.Result
+	if _, err := cpu.DecodeResult(frame, &dec); err != nil {
+		return st, err // first decode sizes the branch slice; reused after
+	}
+	roundTrip := func() error {
+		buf = cpu.AppendResult(buf[:0], res)
+		_, err := cpu.DecodeResult(buf, &dec)
+		return err
+	}
+
+	const probe = 10000
+	var m0, m1 runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&m0)
+	for i := 0; i < probe; i++ {
+		if err := roundTrip(); err != nil {
+			return st, err
+		}
+	}
+	runtime.ReadMemStats(&m1)
+	st.SteadyAlloc = (m1.Mallocs - m0.Mallocs) / probe
+
+	const rounds = 100000
+	for rep := 0; rep <= 2*benchReps; rep++ {
+		t0 := time.Now()
+		for i := 0; i < rounds; i++ {
+			if err := roundTrip(); err != nil {
+				return st, err
+			}
+		}
+		if elapsed := time.Since(t0); rep > 0 && elapsed > 0 {
+			// One round moves the frame twice: once out, once back in.
+			if bps := float64(2*len(frame)*rounds) / elapsed.Seconds(); bps > st.UopsPerSec {
+				st.UopsPerSec = bps
+			}
+		}
+	}
+	return st, nil
+}
+
+// runStoreBenchCase gates the warm store read — the per-spec cost of a
+// cached campaign. Throughput is reads per second against a binary
+// record already on disk; allocations per read cover the file read
+// buffer plus the decoded result.
+func runStoreBenchCase() (BenchStat, error) {
+	st := BenchStat{Name: "store/warm-get"}
+	res, err := benchGateResult()
+	if err != nil {
+		return st, err
+	}
+	dir, err := os.MkdirTemp("", "wishbench-bench-store-")
+	if err != nil {
+		return st, err
+	}
+	defer os.RemoveAll(dir)
+	store, err := lab.OpenStore(dir)
+	if err != nil {
+		return st, err
+	}
+	k := (lab.Spec{
+		Bench: "gzip", Input: workload.InputA, Variant: compiler.WishJumpJoinLoop,
+		Machine: config.DefaultMachine(), Scale: 0.05, Thresholds: compiler.DefaultThresholds(),
+	}).Keyed()
+	if err := store.PutHashed(k.Key, k.Hash, res); err != nil {
+		return st, err
+	}
+	st.RetiredUops = uint64(cpu.EncodedResultSize(res))
+
+	const probe = 200
+	var m0, m1 runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&m0)
+	for i := 0; i < probe; i++ {
+		if store.GetHashed(k.Key, k.Hash) == nil {
+			return st, fmt.Errorf("warm store missed")
+		}
+	}
+	runtime.ReadMemStats(&m1)
+	st.SteadyAlloc = (m1.Mallocs - m0.Mallocs) / probe
+
+	const rounds = 2000
+	for rep := 0; rep <= 2*benchReps; rep++ {
+		t0 := time.Now()
+		for i := 0; i < rounds; i++ {
+			if store.GetHashed(k.Key, k.Hash) == nil {
+				return st, fmt.Errorf("warm store missed")
+			}
+		}
+		if elapsed := time.Since(t0); rep > 0 && elapsed > 0 {
+			if rps := float64(rounds) / elapsed.Seconds(); rps > st.UopsPerSec {
+				st.UopsPerSec = rps
+			}
+		}
+	}
+	return st, nil
+}
+
+// runCampaignBenchCase gates a fully-warm campaign end to end: fig10
+// rendered serially from a pre-populated store by a fresh Lab each
+// repetition (empty in-process memo — the store does the work).
+// RetiredUops is the rendered byte count (campaign output is
+// byte-deterministic by contract), throughput is warm campaigns per
+// second, and SteadyAlloc is allocations per spec served, integer-
+// floored so scheduler-level jitter of a few objects cannot flake the
+// never-grows gate.
+func runCampaignBenchCase() (BenchStat, error) {
+	st := BenchStat{Name: "campaign/warm"}
+	e, ok := exp.ByID("fig10")
+	if !ok {
+		return st, fmt.Errorf("unknown experiment fig10")
+	}
+	dir, err := os.MkdirTemp("", "wishbench-bench-campaign-")
+	if err != nil {
+		return st, err
+	}
+	defer os.RemoveAll(dir)
+	store, err := lab.OpenStore(dir)
+	if err != nil {
+		return st, err
+	}
+	newLab := func() *exp.Lab {
+		l := exp.NewLab()
+		l.Scale = 0.25
+		l.Sched.Workers = 1
+		l.Sched.Store = store
+		return l
+	}
+	warm := newLab()
+	nspecs := len(e.Runs(warm))
+	var rendered countWriter
+	if err := exp.Run(e, warm, &rendered); err != nil {
+		return st, err
+	}
+	st.RetiredUops = uint64(rendered)
+
+	var m0, m1 runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&m0)
+	if err := exp.Run(e, newLab(), io.Discard); err != nil {
+		return st, err
+	}
+	runtime.ReadMemStats(&m1)
+	st.SteadyAlloc = (m1.Mallocs - m0.Mallocs) / uint64(nspecs)
+
+	// One warm campaign is a couple of milliseconds — too little to
+	// time alone on a shared host — so each repetition runs a batch.
+	const batch = 10
+	for rep := 0; rep <= 2*benchReps; rep++ {
+		t0 := time.Now()
+		for i := 0; i < batch; i++ {
+			if err := exp.Run(e, newLab(), io.Discard); err != nil {
+				return st, err
+			}
+		}
+		if elapsed := time.Since(t0); rep > 0 && elapsed > 0 {
+			if cps := batch / elapsed.Seconds(); cps > st.UopsPerSec {
+				st.UopsPerSec = cps
+			}
+		}
+	}
+	return st, nil
+}
+
+// countWriter counts rendered bytes without keeping them.
+type countWriter int
+
+func (w *countWriter) Write(p []byte) (int, error) {
+	*w += countWriter(len(p))
+	return len(p), nil
 }
 
 func runBenchCase(bc benchCase) (BenchStat, error) {

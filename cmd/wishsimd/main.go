@@ -28,7 +28,13 @@
 // (see internal/cluster).
 //
 // Endpoints: POST /v1/run, POST /v1/campaign, GET /healthz,
-// GET /metrics (see internal/serve). Backpressure: requests beyond
+// GET /metrics (see internal/serve). Responses default to JSON; a
+// client advertising the binary content types in Accept gets a binary
+// run response, and campaigns stream length-prefixed items as workers
+// finish (request order is restored client-side from per-item indices,
+// so merged output stays byte-identical). Old clients and old servers
+// interoperate either way — negotiation is strictly additive.
+// Backpressure: requests beyond
 // -j + -queue are rejected with 429 and a Retry-After hint. On SIGTERM
 // or SIGINT the daemon stops admitting work (503), finishes every
 // admitted request within -drain-timeout, and exits 0; a drain that

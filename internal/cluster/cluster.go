@@ -202,8 +202,8 @@ func (co *Coordinator) handleRun(w http.ResponseWriter, r *http.Request) {
 	ctx, cancel := context.WithTimeout(r.Context(), co.timeout(req.TimeoutMs))
 	defer cancel()
 
-	key := req.Spec.Key()
-	v, err := co.route(ctx, key, func(ctx context.Context, wk *Worker) (any, error) {
+	k := req.Spec.Keyed()
+	v, err := co.route(ctx, k.Key, func(ctx context.Context, wk *Worker, _ func()) (any, error) {
 		res, rerr := wk.Client.Run(ctx, req.Spec)
 		if rerr != nil {
 			return nil, rerr
@@ -214,7 +214,7 @@ func (co *Coordinator) handleRun(w http.ResponseWriter, r *http.Request) {
 		co.rejectErr(w, err)
 		return
 	}
-	co.writeJSON(w, http.StatusOK, serve.RunResponse{Key: key, Result: v.(*cpu.Result)})
+	co.writeJSON(w, http.StatusOK, serve.RunResponse{Key: k.Key, Result: v.(*cpu.Result)})
 }
 
 func (co *Coordinator) handleCampaign(w http.ResponseWriter, r *http.Request) {
@@ -265,10 +265,13 @@ func (co *Coordinator) handleCampaign(w http.ResponseWriter, r *http.Request) {
 // not "here is half your campaign".
 func (co *Coordinator) campaign(ctx context.Context, specs []lab.Spec) ([]serve.CampaignItem, error) {
 	items := make([]serve.CampaignItem, len(specs))
-	keys := make([]string, len(specs))
+	keyed := make([]lab.Keyed, len(specs))
 	for i := range specs {
-		keys[i] = specs[i].Key()
-		items[i].Key = keys[i]
+		// One key computation per campaign item: the ring placement,
+		// the shard's worker-side key cross-check, and the response all
+		// reuse the cached form.
+		keyed[i] = specs[i].Keyed()
+		items[i].Key = keyed[i].Key
 	}
 
 	ring := co.Registry.Ring()
@@ -276,8 +279,8 @@ func (co *Coordinator) campaign(ctx context.Context, specs []lab.Spec) ([]serve.
 		return nil, ErrNoWorkers
 	}
 	shards := make(map[*Worker][]int)
-	for i, k := range keys {
-		home := ring.Lookup(k, 1)[0]
+	for i := range keyed {
+		home := ring.Lookup(keyed[i].Key, 1)[0]
 		shards[home] = append(shards[home], i)
 	}
 
@@ -295,8 +298,14 @@ func (co *Coordinator) campaign(ctx context.Context, specs []lab.Spec) ([]serve.
 			for j, idx := range idxs {
 				sub[j] = specs[idx]
 			}
-			v, err := co.route(ctx, keys[idxs[0]], func(ctx context.Context, wk *Worker) (any, error) {
-				return wk.Client.Campaign(ctx, sub)
+			// The shard goes out as a streaming campaign: the worker's
+			// items arrive (and merge client-side into shard order) as
+			// each simulation finishes instead of after the whole
+			// shard, and the first item claims the hedge race —
+			// cancelling a straggling replica at the winner's first
+			// result rather than its last.
+			v, err := co.route(ctx, keyed[idxs[0]].Key, func(ctx context.Context, wk *Worker, claim func()) (any, error) {
+				return wk.Client.CampaignStream(ctx, sub, func(int, serve.CampaignItem) { claim() })
 			})
 			if err != nil {
 				var se *serve.StatusError
@@ -316,10 +325,10 @@ func (co *Coordinator) campaign(ctx context.Context, specs []lab.Spec) ([]serve.
 			}
 			got := v.([]serve.CampaignItem)
 			for j, idx := range idxs {
-				if got[j].Key != keys[idx] {
+				if got[j].Key != keyed[idx].Key {
 					items[idx].Err = fmt.Sprintf(
 						"cluster: worker computed key %q for a spec with key %q (wire-format skew?)",
-						got[j].Key, keys[idx])
+						got[j].Key, keyed[idx].Key)
 					continue
 				}
 				items[idx] = got[j]

@@ -32,7 +32,7 @@ func TestRouteFailoverMarksDeadAndRehomes(t *testing.T) {
 	home, successor := cands[0], cands[1]
 
 	var tried []string
-	v, err := co.route(context.Background(), key, func(ctx context.Context, w *Worker) (any, error) {
+	v, err := co.route(context.Background(), key, func(ctx context.Context, w *Worker, _ func()) (any, error) {
 		tried = append(tried, w.URL)
 		if w == home {
 			return nil, errors.New("connection refused")
@@ -61,7 +61,7 @@ func TestRouteFailoverMarksDeadAndRehomes(t *testing.T) {
 func TestRoutePermanent4xxIsNotRetried(t *testing.T) {
 	co := dispatchCoordinator(nil)
 	calls := 0
-	_, err := co.route(context.Background(), "k", func(ctx context.Context, w *Worker) (any, error) {
+	_, err := co.route(context.Background(), "k", func(ctx context.Context, w *Worker, _ func()) (any, error) {
 		calls++
 		return nil, &serve.StatusError{Status: http.StatusUnprocessableEntity, Msg: "bad spec"}
 	})
@@ -84,7 +84,7 @@ func TestRouteBusyAggregatesRetryAfter(t *testing.T) {
 	co := dispatchCoordinator(func(c *Coordinator) { c.Retries = 2 })
 	hints := []time.Duration{3 * time.Second, 9 * time.Second, 5 * time.Second}
 	calls := 0
-	_, err := co.route(context.Background(), "k", func(ctx context.Context, w *Worker) (any, error) {
+	_, err := co.route(context.Background(), "k", func(ctx context.Context, w *Worker, _ func()) (any, error) {
 		h := hints[calls]
 		calls++
 		return nil, &serve.StatusError{Status: http.StatusTooManyRequests, Msg: "full", RetryAfter: h}
@@ -114,7 +114,7 @@ func TestRouteHedgeWinsAndCancelsLoser(t *testing.T) {
 	home := co.Registry.Ring().Lookup(key, 1)[0]
 
 	loserCancelled := make(chan struct{})
-	v, err := co.route(context.Background(), key, func(ctx context.Context, w *Worker) (any, error) {
+	v, err := co.route(context.Background(), key, func(ctx context.Context, w *Worker, _ func()) (any, error) {
 		if w == home {
 			<-ctx.Done() // stalls until the winner cancels it
 			close(loserCancelled)
@@ -138,13 +138,77 @@ func TestRouteHedgeWinsAndCancelsLoser(t *testing.T) {
 	}
 }
 
+// TestRouteClaimCancelsLoserEarly: a streaming attempt that claims the
+// race on its first item cancels the competing attempt at that moment —
+// not when the winner eventually returns. The winner here refuses to
+// finish until it has SEEN the loser die, so the test deadlocks (and
+// fails on its timeout) if cancellation were still return-driven.
+func TestRouteClaimCancelsLoserEarly(t *testing.T) {
+	co := dispatchCoordinator(func(c *Coordinator) { c.HedgeAfter = 2 * time.Millisecond })
+	const key = "streaming-straggler"
+	home := co.Registry.Ring().Lookup(key, 1)[0]
+
+	homeCancelled := make(chan struct{})
+	v, err := co.route(context.Background(), key, func(ctx context.Context, w *Worker, claim func()) (any, error) {
+		if w == home {
+			<-ctx.Done() // the home stalls; only a claim can kill it early
+			close(homeCancelled)
+			return nil, ctx.Err()
+		}
+		claim() // the hedge's first streamed item arrives
+		select {
+		case <-homeCancelled:
+		case <-time.After(10 * time.Second):
+			return nil, errors.New("claim did not cancel the loser while the winner was still streaming")
+		}
+		return "claimed-result", nil
+	})
+	if err != nil || v != "claimed-result" {
+		t.Fatalf("route = %v, %v, want the claiming hedge's answer", v, err)
+	}
+	if !home.Alive() {
+		t.Error("a worker cancelled by a lost claim was marked dead")
+	}
+	if home.errs.Load() != 0 {
+		t.Errorf("loser error counter = %d, want 0 — losing a race is not a worker failure", home.errs.Load())
+	}
+}
+
+// TestRouteClaimSuppressesHedge: once the home worker has claimed (its
+// first item is streaming), a later hedge timer must not launch a
+// pointless replica.
+func TestRouteClaimSuppressesHedge(t *testing.T) {
+	co := dispatchCoordinator(func(c *Coordinator) { c.HedgeAfter = 2 * time.Millisecond })
+	const key = "slow-but-streaming"
+	cands := co.Registry.Ring().Lookup(key, 2)
+	home, successor := cands[0], cands[1]
+
+	v, err := co.route(context.Background(), key, func(ctx context.Context, w *Worker, claim func()) (any, error) {
+		if w != home {
+			return nil, errors.New("the hedge ran despite a claim")
+		}
+		claim()                           // first item lands immediately...
+		time.Sleep(20 * time.Millisecond) // ...but the tail outlives HedgeAfter
+		return "home-result", nil
+	})
+	if err != nil || v != "home-result" {
+		t.Fatalf("route = %v, %v, want the home answer", v, err)
+	}
+	if co.hedges.Load() != 0 {
+		t.Errorf("hedge counter = %d, want 0 — the home had already claimed", co.hedges.Load())
+	}
+	if successor.reqs.Load() != 0 {
+		t.Errorf("ring successor saw %d requests, want 0", successor.reqs.Load())
+	}
+}
+
 // TestRouteNoLiveWorkers: an empty ring reports ErrNoWorkers.
 func TestRouteNoLiveWorkers(t *testing.T) {
 	co := dispatchCoordinator(nil)
 	for _, w := range co.Registry.Workers() {
 		co.Registry.MarkDead(w)
 	}
-	_, err := co.route(context.Background(), "k", func(ctx context.Context, w *Worker) (any, error) {
+	_, err := co.route(context.Background(), "k", func(ctx context.Context, w *Worker, _ func()) (any, error) {
 		t.Fatal("fn ran with no live workers")
 		return nil, nil
 	})
@@ -157,7 +221,7 @@ func TestRouteNoLiveWorkers(t *testing.T) {
 // them one by one and reports the last failure once the ring is dry.
 func TestRouteExhaustionDrainsRing(t *testing.T) {
 	co := dispatchCoordinator(func(c *Coordinator) { c.Retries = 10 })
-	_, err := co.route(context.Background(), "k", func(ctx context.Context, w *Worker) (any, error) {
+	_, err := co.route(context.Background(), "k", func(ctx context.Context, w *Worker, _ func()) (any, error) {
 		return nil, errors.New("kaboom")
 	})
 	if err == nil || err.Error() != "kaboom" {
@@ -178,7 +242,7 @@ func TestRouteDeadlineAbortsBackoff(t *testing.T) {
 	})
 	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
 	defer cancel()
-	_, err := co.route(ctx, "k", func(ctx context.Context, w *Worker) (any, error) {
+	_, err := co.route(ctx, "k", func(ctx context.Context, w *Worker, _ func()) (any, error) {
 		return nil, &serve.StatusError{Status: http.StatusTooManyRequests, Msg: "full"}
 	})
 	if !errors.Is(err, context.DeadlineExceeded) {

@@ -45,6 +45,53 @@ func (c *CPU) needsSelect(u *uop) bool {
 	return in.WritesInt() || in.WritesPred()
 }
 
+// addIntSrcs/addPredSrcs/addLoadDeps/addOldDstDeps record u's register,
+// predicate, and memory dependences against the fetch-order writer
+// tables. They used to be closures inside rename; as methods the calls
+// are direct (and mostly inlined), which matters because rename runs
+// once per dispatched µop.
+func (c *CPU) addIntSrcs(u *uop, in *isa.Inst) {
+	srcs, n := in.IntSrcs()
+	for i := 0; i < n; i++ {
+		if srcs[i] != isa.R0 {
+			u.addDep(c.intWriter[srcs[i]])
+		}
+	}
+}
+
+func (c *CPU) addPredSrcs(u *uop, in *isa.Inst) {
+	ps, n := in.ReadsPredSrcs()
+	for i := 0; i < n; i++ {
+		if ps[i] != isa.P0 {
+			u.addDep(c.predWriter[ps[i]])
+		}
+	}
+}
+
+func (c *CPU) addLoadDeps(u *uop, in *isa.Inst) {
+	if in.Op != isa.OpLoad {
+		return
+	}
+	if w := c.storeWriter.get(u.addr >> 3); w != nil && !w.squashed && w.seq < u.seq {
+		u.fwdStore = true
+		u.addDep(w) // store-to-load forwarding once the store executes
+	}
+}
+
+func (c *CPU) addOldDstDeps(u *uop, in *isa.Inst) {
+	if in.WritesInt() {
+		u.addDep(c.intWriter[in.Dst])
+	}
+	if in.WritesPred() {
+		if in.PDst != isa.PNone && in.PDst != isa.P0 {
+			u.addDep(c.predWriter[in.PDst])
+		}
+		if in.PDst2 != isa.PNone && in.PDst2 != isa.P0 {
+			u.addDep(c.predWriter[in.PDst2])
+		}
+	}
+}
+
 // rename computes u's dependences, updates the fetch-order writer
 // tables, allocates window entries, and wakes u if already ready.
 func (c *CPU) rename(u *uop) {
@@ -52,45 +99,6 @@ func (c *CPU) rename(u *uop) {
 	in := u.inst
 	if c.ring != nil {
 		c.ring.Record(obs.Event{Cycle: c.cycle, Seq: u.seq, PC: u.pc, Kind: obs.EvRename})
-	}
-
-	addIntSrcs := func() {
-		srcs, n := in.IntSrcs()
-		for i := 0; i < n; i++ {
-			if srcs[i] != isa.R0 {
-				u.addDep(c.intWriter[srcs[i]])
-			}
-		}
-	}
-	addPredSrcs := func() {
-		ps, n := in.ReadsPredSrcs()
-		for i := 0; i < n; i++ {
-			if ps[i] != isa.P0 {
-				u.addDep(c.predWriter[ps[i]])
-			}
-		}
-	}
-	addLoadDeps := func() {
-		if in.Op != isa.OpLoad {
-			return
-		}
-		if w := c.storeWriter.get(u.addr >> 3); w != nil && !w.squashed && w.seq < u.seq {
-			u.fwdStore = true
-			u.addDep(w) // store-to-load forwarding once the store executes
-		}
-	}
-	addOldDstDeps := func() {
-		if in.WritesInt() {
-			u.addDep(c.intWriter[in.Dst])
-		}
-		if in.WritesPred() {
-			if in.PDst != isa.PNone && in.PDst != isa.P0 {
-				u.addDep(c.predWriter[in.PDst])
-			}
-			if in.PDst2 != isa.PNone && in.PDst2 != isa.P0 {
-				u.addDep(c.predWriter[in.PDst2])
-			}
-		}
 	}
 
 	guarded := in.Guard != isa.P0 && !in.IsBranch()
@@ -103,24 +111,24 @@ func (c *CPU) rename(u *uop) {
 			u.addDep(c.predWriter[in.Guard]) // resolution needs the real predicate
 		}
 		if in.Op == isa.OpJmpInd || in.Op == isa.OpRet {
-			addIntSrcs()
+			c.addIntSrcs(u, in)
 		}
 	case guarded && oracle:
 		// NO-DEPEND (and NO-FETCH): predicate dependencies ideally
 		// removed; a predicated-false µop is a free NOP.
 		if u.guardVal {
-			addIntSrcs()
-			addPredSrcs()
-			addLoadDeps()
+			c.addIntSrcs(u, in)
+			c.addPredSrcs(u, in)
+			c.addLoadDeps(u, in)
 		}
 	case guarded && u.predElim:
 		// Predicate dependency elimination hit: the guard is assumed
 		// ready with the predicted value (§3.5.3). A mispredicted value
 		// is repaired by the wish branch's own flush.
 		if u.predElimVal {
-			addIntSrcs()
-			addPredSrcs()
-			addLoadDeps()
+			c.addIntSrcs(u, in)
+			c.addPredSrcs(u, in)
+			c.addLoadDeps(u, in)
 		}
 	case guarded && c.cfg.PredMech == config.SelectUop &&
 		!in.WritesInt() && !in.WritesPred():
@@ -130,16 +138,16 @@ func (c *CPU) rename(u *uop) {
 		// overflow the window. The store consumes its predicate directly
 		// instead: the store buffer cannot release a predicated store
 		// until its guard resolves.
-		addIntSrcs()
-		addPredSrcs()
-		addLoadDeps()
+		c.addIntSrcs(u, in)
+		c.addPredSrcs(u, in)
+		c.addLoadDeps(u, in)
 		u.addDep(c.predWriter[in.Guard])
 	case guarded && c.cfg.PredMech == config.SelectUop:
 		// The predicated µop executes without its predicate; the select
 		// µop merges old/new values and carries the dependents.
-		addIntSrcs()
-		addPredSrcs()
-		addLoadDeps()
+		c.addIntSrcs(u, in)
+		c.addPredSrcs(u, in)
+		c.addLoadDeps(u, in)
 		sel = c.newUop()
 		sel.seq, sel.pc, sel.inst, sel.isSelect = u.seq, u.pc, in, true
 		sel.wrongPath, sel.guardVal = u.wrongPath, u.guardVal
@@ -159,15 +167,15 @@ func (c *CPU) rename(u *uop) {
 	case guarded:
 		// C-style conditional expression: reads the guard and the old
 		// destination value as extra sources; always writes.
-		addIntSrcs()
-		addPredSrcs()
-		addLoadDeps()
+		c.addIntSrcs(u, in)
+		c.addPredSrcs(u, in)
+		c.addLoadDeps(u, in)
 		u.addDep(c.predWriter[in.Guard])
-		addOldDstDeps()
+		c.addOldDstDeps(u, in)
 	default:
-		addIntSrcs()
-		addPredSrcs()
-		addLoadDeps()
+		c.addIntSrcs(u, in)
+		c.addPredSrcs(u, in)
+		c.addLoadDeps(u, in)
 	}
 
 	// Writer updates in fetch order. With C-style conversion a guarded
@@ -241,7 +249,13 @@ func (c *CPU) issue() {
 			continue
 		}
 		u.doneCycle = c.execute(u)
-		c.compQ.push(compEvent{u.doneCycle, u})
+		if u.doneCycle == c.cycle+1 {
+			// Latency-1 fast lane: appended in ascending seq order (the
+			// ready queue pops oldest-first), all due next cycle.
+			c.nextComp = append(c.nextComp, compEvent{u.doneCycle, u})
+		} else {
+			c.compQ.push(compEvent{u.doneCycle, u})
+		}
 		n++
 	}
 }
@@ -279,9 +293,30 @@ func (c *CPU) execute(u *uop) uint64 {
 // via its squashed flag, which stays readable until the pool hands the
 // µop out again — reallocation only happens in later pipeline stages.
 func (c *CPU) completions() {
-	for len(c.compQ) > 0 && c.compQ[0].cycle <= c.cycle {
-		e := c.compQ.pop()
-		u := e.u
+	// Merge the latency-1 lane (all due this cycle, ascending seq) with
+	// the heap by (cycle, seq), so the pop order is identical to the
+	// single-heap implementation. The lane always drains completely: its
+	// events were appended last live cycle for this one, and skippable
+	// never jumps past a due completion.
+	lane := c.nextComp
+	li := 0
+drain:
+	for {
+		laneDue := li < len(lane) && lane[li].cycle <= c.cycle
+		heapDue := len(c.compQ) > 0 && c.compQ[0].cycle <= c.cycle
+		var u *uop
+		switch {
+		case laneDue && (!heapDue ||
+			c.compQ[0].cycle > lane[li].cycle ||
+			(c.compQ[0].cycle == lane[li].cycle && c.compQ[0].u.seq > lane[li].u.seq)):
+			u = lane[li].u
+			lane[li] = compEvent{}
+			li++
+		case heapDue:
+			u = c.compQ.pop().u
+		default:
+			break drain
+		}
 		if u.squashed {
 			continue // defensive: flush compacts the queue
 		}
@@ -303,6 +338,15 @@ func (c *CPU) completions() {
 		if (u.mispredict || u.deferred) && !u.wrongPath {
 			c.resolved = append(c.resolved, u)
 		}
+	}
+	if li == len(lane) {
+		c.nextComp = lane[:0]
+	} else if li > 0 {
+		n := copy(lane, lane[li:])
+		for i := n; i < len(lane); i++ {
+			lane[i] = compEvent{}
+		}
+		c.nextComp = lane[:n]
 	}
 	if len(c.resolved) == 0 {
 		return
@@ -403,6 +447,20 @@ func (c *CPU) flush(u *uop, redirectPC int, noExit bool) {
 	// anywhere in them).
 	c.readyQ.compact()
 	c.compQ.compact()
+	// The fast lane is normally empty here (flushes happen in resolve,
+	// after completions drained it), but compact defensively: order is
+	// preserved, so the seq invariant holds.
+	k := 0
+	for _, e := range c.nextComp {
+		if !e.u.squashed {
+			c.nextComp[k] = e
+			k++
+		}
+	}
+	for i := k; i < len(c.nextComp); i++ {
+		c.nextComp[i] = compEvent{}
+	}
+	c.nextComp = c.nextComp[:k]
 
 	// Rebuild fetch-order rename state from the surviving window, and
 	// scrub dependent lists in the same pass.

@@ -1,0 +1,231 @@
+package cpu
+
+// Binary codec for Result. The lab result store and the serve/cluster
+// wire both move Results in bulk; encoding/json dominates those paths
+// once the simulator itself is fast (DESIGN.md §14). This codec pins a
+// versioned, length-prefixed little-endian layout:
+//
+//	offset  size  field
+//	0       2     magic "WR"
+//	2       1     version (ResultCodecVersion)
+//	3       1     reserved (must be 0)
+//	4       4     payload length N (uint32, bytes after this header)
+//	8       N     payload
+//
+// The payload is every Result field in struct order, fixed-width:
+// 9 top-level uint64 counters, 3×7 WishClass uint64s, 4×2 cache.Stats
+// uint64s, obs.NumBuckets accounting uint64s, the Halted byte (0/1), a
+// uint32 branch count, then 7 uint64s per obs.BranchStat (PC encoded
+// as uint64). The layout is golden-pinned (testdata/result_codec_v1.golden)
+// and field-pinned by reflection (TestResultCodecCoversEveryField):
+// adding a field to Result without bumping ResultCodecVersion and
+// extending the codec fails the build's tests, not a warm cache at 3am.
+//
+// AppendResult and DecodeResult are allocation-free in steady state:
+// encode appends into a caller-owned buffer, decode reuses the
+// capacity of the destination Result's Branches slice.
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"wishbranch/internal/cache"
+	"wishbranch/internal/obs"
+)
+
+// ResultCodecVersion is the binary layout version. Bump it (and the
+// golden file, and the decoder's version switch) whenever Result's
+// field set, field order, or field widths change.
+const ResultCodecVersion = 1
+
+// resultCodecHeaderSize is the fixed frame header: magic(2) +
+// version(1) + reserved(1) + payload length(4).
+const resultCodecHeaderSize = 8
+
+const (
+	resultCodecMagic0 = 'W'
+	resultCodecMagic1 = 'R'
+)
+
+// Fixed payload geometry for version 1.
+const (
+	resultCodecTopCounters = 9     // Cycles..BTBMissBubbles
+	resultCodecWishFields  = 7     // fields per WishClass
+	resultCodecCacheFields = 2     // fields per cache.Stats
+	resultCodecBranchSize  = 7 * 8 // bytes per obs.BranchStat
+	resultCodecFixedWords  = resultCodecTopCounters + 3*resultCodecWishFields + 4*resultCodecCacheFields + int(obs.NumBuckets)
+	// fixed words + halted byte + branch count
+	resultCodecFixedSize = resultCodecFixedWords*8 + 1 + 4
+)
+
+// Decode errors. Callers that treat a corrupt record as a cache miss
+// (lab.Store) match on ErrResultCodec; the specific wrapped message
+// says what broke.
+var (
+	// ErrResultCodec is the base class of every decode failure.
+	ErrResultCodec = errors.New("cpu: result codec")
+
+	errCodecShort   = fmt.Errorf("%w: truncated frame", ErrResultCodec)
+	errCodecMagic   = fmt.Errorf("%w: bad magic", ErrResultCodec)
+	errCodecVersion = fmt.Errorf("%w: unsupported version", ErrResultCodec)
+	errCodecLength  = fmt.Errorf("%w: payload length inconsistent", ErrResultCodec)
+	errCodecHalted  = fmt.Errorf("%w: invalid halted byte", ErrResultCodec)
+)
+
+// EncodedResultSize returns the exact frame size AppendResult will
+// produce for r, so callers can pre-size buffers.
+func EncodedResultSize(r *Result) int {
+	return resultCodecHeaderSize + resultCodecFixedSize + len(r.Branches)*resultCodecBranchSize
+}
+
+// AppendResult appends the binary frame for r to dst and returns the
+// extended slice. It never allocates when dst has sufficient capacity
+// (EncodedResultSize bytes beyond len(dst)).
+func AppendResult(dst []byte, r *Result) []byte {
+	payload := resultCodecFixedSize + len(r.Branches)*resultCodecBranchSize
+	dst = append(dst, resultCodecMagic0, resultCodecMagic1, ResultCodecVersion, 0)
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(payload))
+
+	u64 := binary.LittleEndian.AppendUint64
+	dst = u64(dst, r.Cycles)
+	dst = u64(dst, r.RetiredUops)
+	dst = u64(dst, r.ProgUops)
+	dst = u64(dst, r.FetchedUops)
+	dst = u64(dst, r.Squashed)
+	dst = u64(dst, r.CondBranches)
+	dst = u64(dst, r.MispredCondBr)
+	dst = u64(dst, r.Flushes)
+	dst = u64(dst, r.BTBMissBubbles)
+	for _, w := range [...]*WishClass{&r.WishJump, &r.WishJoin, &r.WishLoop} {
+		dst = u64(dst, w.HighCorrect)
+		dst = u64(dst, w.HighMispred)
+		dst = u64(dst, w.LowCorrect)
+		dst = u64(dst, w.LowMispred)
+		dst = u64(dst, w.LowEarly)
+		dst = u64(dst, w.LowLate)
+		dst = u64(dst, w.LowNoExit)
+	}
+	for _, c := range [...]*cache.Stats{&r.L1I, &r.L1D, &r.L2, &r.Mem} {
+		dst = u64(dst, c.Accesses)
+		dst = u64(dst, c.Misses)
+	}
+	for _, b := range r.Acct.Buckets {
+		dst = u64(dst, b)
+	}
+	if r.Halted {
+		dst = append(dst, 1)
+	} else {
+		dst = append(dst, 0)
+	}
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(r.Branches)))
+	for i := range r.Branches {
+		b := &r.Branches[i]
+		dst = u64(dst, uint64(b.PC))
+		dst = u64(dst, b.Retired)
+		dst = u64(dst, b.Mispredicts)
+		dst = u64(dst, b.Flushes)
+		dst = u64(dst, b.FlushCycles)
+		dst = u64(dst, b.ConfHigh)
+		dst = u64(dst, b.ConfLow)
+	}
+	return dst
+}
+
+// DecodeResult decodes one frame from the front of data into r
+// (overwriting every field, reusing r.Branches capacity) and returns
+// the number of bytes consumed. Trailing bytes beyond the frame are
+// left for the caller, so frames compose into larger records and
+// streams. Every malformed input returns an error wrapping
+// ErrResultCodec; no input panics (FuzzResultCodec).
+func DecodeResult(data []byte, r *Result) (int, error) {
+	if len(data) < resultCodecHeaderSize {
+		return 0, errCodecShort
+	}
+	if data[0] != resultCodecMagic0 || data[1] != resultCodecMagic1 {
+		return 0, errCodecMagic
+	}
+	if data[2] != ResultCodecVersion {
+		return 0, fmt.Errorf("%w %d (supported: %d)", errCodecVersion, data[2], ResultCodecVersion)
+	}
+	if data[3] != 0 {
+		return 0, fmt.Errorf("%w: nonzero reserved byte", ErrResultCodec)
+	}
+	payload := int(binary.LittleEndian.Uint32(data[4:]))
+	if payload < resultCodecFixedSize {
+		return 0, errCodecLength
+	}
+	if (payload-resultCodecFixedSize)%resultCodecBranchSize != 0 {
+		return 0, errCodecLength
+	}
+	if len(data)-resultCodecHeaderSize < payload {
+		return 0, errCodecShort
+	}
+	nBranches := (payload - resultCodecFixedSize) / resultCodecBranchSize
+
+	p := data[resultCodecHeaderSize:]
+	u64 := func() uint64 {
+		v := binary.LittleEndian.Uint64(p)
+		p = p[8:]
+		return v
+	}
+	r.Cycles = u64()
+	r.RetiredUops = u64()
+	r.ProgUops = u64()
+	r.FetchedUops = u64()
+	r.Squashed = u64()
+	r.CondBranches = u64()
+	r.MispredCondBr = u64()
+	r.Flushes = u64()
+	r.BTBMissBubbles = u64()
+	for _, w := range [...]*WishClass{&r.WishJump, &r.WishJoin, &r.WishLoop} {
+		w.HighCorrect = u64()
+		w.HighMispred = u64()
+		w.LowCorrect = u64()
+		w.LowMispred = u64()
+		w.LowEarly = u64()
+		w.LowLate = u64()
+		w.LowNoExit = u64()
+	}
+	for _, c := range [...]*cache.Stats{&r.L1I, &r.L1D, &r.L2, &r.Mem} {
+		c.Accesses = u64()
+		c.Misses = u64()
+	}
+	for i := range r.Acct.Buckets {
+		r.Acct.Buckets[i] = u64()
+	}
+	switch p[0] {
+	case 0:
+		r.Halted = false
+	case 1:
+		r.Halted = true
+	default:
+		return 0, errCodecHalted
+	}
+	declared := int(binary.LittleEndian.Uint32(p[1:]))
+	if declared != nBranches {
+		return 0, errCodecLength
+	}
+	p = p[5:]
+	if cap(r.Branches) >= nBranches {
+		r.Branches = r.Branches[:nBranches]
+	} else {
+		r.Branches = make([]obs.BranchStat, nBranches)
+	}
+	if nBranches == 0 {
+		// Match the zero value (and JSON's ,omitempty round-trip):
+		// an empty branch list is nil, not a zero-length slice.
+		r.Branches = nil
+	}
+	for i := range r.Branches {
+		b := &r.Branches[i]
+		b.PC = int(int64(u64()))
+		b.Retired = u64()
+		b.Mispredicts = u64()
+		b.Flushes = u64()
+		b.FlushCycles = u64()
+		b.ConfHigh = u64()
+		b.ConfLow = u64()
+	}
+	return resultCodecHeaderSize + payload, nil
+}

@@ -106,6 +106,14 @@ type CPU struct {
 
 	readyQ seqHeap
 	compQ  compHeap
+	// nextComp is the latency-1 completion fast lane: events issued this
+	// cycle that complete next cycle. Issue pops the ready queue
+	// oldest-first, so appends arrive in ascending sequence order and the
+	// lane needs no sifting; it drains completely every time it comes
+	// due, before any new event can be appended. Longer latencies go
+	// through the compQ heap, which now only sees the uncommon cases
+	// (multiplies, divides, cache misses).
+	nextComp []compEvent
 
 	pool      uopPool
 	resolved  []*uop // scratch for completions' resolve batch
@@ -265,6 +273,9 @@ func (c *CPU) skippable(limit uint64) uint64 {
 	if len(c.compQ) > 0 && c.compQ[0].cycle <= c.cycle {
 		return 0
 	}
+	if len(c.nextComp) > 0 && c.nextComp[0].cycle <= c.cycle {
+		return 0
+	}
 	if c.robCount > 0 && c.rob[c.robHead].done {
 		return 0
 	}
@@ -277,6 +288,9 @@ func (c *CPU) skippable(limit uint64) uint64 {
 	target := limit
 	if len(c.compQ) > 0 && c.compQ[0].cycle < target {
 		target = c.compQ[0].cycle
+	}
+	if len(c.nextComp) > 0 && c.nextComp[0].cycle < target {
+		target = c.nextComp[0].cycle
 	}
 	if c.cycle < c.nextFetch && c.nextFetch < target {
 		target = c.nextFetch

@@ -76,9 +76,9 @@ func (c *CPU) fetch() {
 		} else {
 			var stp emu.Step
 			if c.shadow != nil {
-				stp = c.shadow.Step()
+				c.shadow.StepInto(&stp)
 			} else {
-				stp = c.st.Step()
+				c.st.StepInto(&stp)
 			}
 			u.guardVal = stp.GuardTrue
 			u.addr = stp.Addr
@@ -128,6 +128,7 @@ func (c *CPU) fetch() {
 // mode machine, and starts wrong-path fetch on a detected
 // misprediction. It reports whether the fetch group ends.
 func (c *CPU) fetchBranch(u *uop) bool {
+	var scratch emu.Step // discarded architectural effects
 	inst := u.inst
 	pc64 := prog.Addr(u.pc)
 	wrong := c.shadow != nil
@@ -138,9 +139,9 @@ func (c *CPU) fetchBranch(u *uop) bool {
 	case isa.OpCall:
 		u.takenFetch, u.actualTaken, u.guardVal = true, true, true
 		if wrong {
-			c.shadow.Step()
+			c.shadow.StepInto(&scratch)
 		} else {
-			c.st.Step()
+			c.st.StepInto(&scratch)
 			c.ras.Push(u.pc + 1)
 		}
 		bubble = !btbHit
@@ -148,11 +149,12 @@ func (c *CPU) fetchBranch(u *uop) bool {
 	case isa.OpRet:
 		u.takenFetch, u.actualTaken, u.guardVal = true, true, true
 		if wrong {
-			c.shadow.Step()
+			c.shadow.StepInto(&scratch)
 		} else {
 			predTarget := c.ras.Pop()
 			u.hist = c.bp.Hist()
-			stp := c.st.Step()
+			var stp emu.Step
+			c.st.StepInto(&stp)
 			u.flushPC = stp.NextPC
 			if predTarget != stp.NextPC {
 				c.startWrongPath(u, predTarget, stp.NextPC)
@@ -163,11 +165,12 @@ func (c *CPU) fetchBranch(u *uop) bool {
 	case isa.OpJmpInd:
 		u.takenFetch, u.actualTaken, u.guardVal = true, true, true
 		if wrong {
-			c.shadow.Step()
+			c.shadow.StepInto(&scratch)
 		} else {
 			u.hist = c.bp.Hist()
 			predTarget, ok := c.itc.Lookup(pc64, u.hist)
-			stp := c.st.Step()
+			var stp emu.Step
+			c.st.StepInto(&stp)
 			u.flushPC = stp.NextPC
 			if !ok {
 				predTarget = u.pc + 1 // no prediction: fall through until resolve
@@ -188,9 +191,9 @@ func (c *CPU) fetchBranch(u *uop) bool {
 			// Unconditional direct branch.
 			u.takenFetch, u.actualTaken, u.guardVal = true, true, true
 			if wrong {
-				c.shadow.StepForced(true)
+				c.shadow.StepForcedInto(&scratch, true)
 			} else {
-				c.st.Step()
+				c.st.StepInto(&scratch)
 			}
 			bubble = !btbHit
 		} else if wrong {
@@ -252,11 +255,12 @@ func (c *CPU) fetchCondCorrect(u *uop) {
 
 	// Normal conditional branch (or PERFECT-CBP).
 	u.takenFetch = predDir
+	var scratch emu.Step
 	if predDir == actual {
-		c.st.Step()
+		c.st.StepInto(&scratch)
 		return
 	}
-	c.st.Step() // the emulator follows the architecturally correct path
+	c.st.StepInto(&scratch) // the emulator follows the architecturally correct path
 	wrongPC := u.pc + 1
 	if predDir {
 		wrongPC = inst.Target
@@ -267,6 +271,7 @@ func (c *CPU) fetchCondCorrect(u *uop) {
 // fetchWish applies the wish-branch semantics of §3.1–§3.2 and the
 // Figure 8 mode machine to a correct-path wish branch.
 func (c *CPU) fetchWish(u *uop, predDir, actual bool) {
+	var scratch emu.Step // discarded architectural effects
 	inst := u.inst
 	pc64 := prog.Addr(u.pc)
 	wt := inst.WType
@@ -312,10 +317,10 @@ func (c *CPU) fetchWish(u *uop, predDir, actual bool) {
 			c.lastLoopPred[u.pc] = predDir
 		}
 		if predDir == actual {
-			c.st.Step()
+			c.st.StepInto(&scratch)
 			return
 		}
-		c.st.Step()
+		c.st.StepInto(&scratch)
 		wrongPC := u.pc + 1
 		if predDir {
 			wrongPC = inst.Target
@@ -344,7 +349,7 @@ func (c *CPU) fetchWish(u *uop, predDir, actual bool) {
 		if inst.Target > c.lowConfTarget {
 			c.lowConfTarget = inst.Target
 		}
-		c.st.StepForced(false)
+		c.st.StepForcedInto(&scratch, false)
 		return
 	}
 
@@ -356,7 +361,7 @@ func (c *CPU) fetchWish(u *uop, predDir, actual bool) {
 	c.lastLoopPred[u.pc] = predDir
 	switch {
 	case predDir == actual:
-		c.st.StepForced(predDir)
+		c.st.StepForcedInto(&scratch, predDir)
 		if !actual {
 			c.exitLowLoop(u.pc)
 		}
@@ -365,13 +370,13 @@ func (c *CPU) fetchWish(u *uop, predDir, actual bool) {
 		// the fetched iteration flows through as NOPs. Whether this is
 		// late-exit or no-exit is classified when the branch resolves.
 		u.deferred = true
-		c.st.StepForced(true)
+		c.st.StepForcedInto(&scratch, true)
 	default:
 		// Early exit: the front end leaves the loop too soon; this is a
 		// real misprediction handled like a normal flush.
 		u.mispredict = true
 		u.loopCls = loopEarly
-		c.st.Step() // actual direction: back to the loop top
+		c.st.StepInto(&scratch) // actual direction: back to the loop top
 		c.startWrongPath(u, u.pc+1, inst.Target)
 	}
 }
@@ -387,7 +392,8 @@ func (c *CPU) fetchCondWrong(u *uop) {
 	predDir := u.pred.Taken
 	u.dirPred = predDir
 	u.takenFetch = predDir
-	stp := c.shadow.StepForced(predDir)
+	var stp emu.Step
+	c.shadow.StepForcedInto(&stp, predDir)
 	u.actualTaken = stp.GuardTrue
 	u.guardVal = stp.GuardTrue
 }

@@ -19,9 +19,15 @@ type page [pageWords]int64
 
 // Memory is a sparse 64-bit word-addressable memory. Addresses are byte
 // addresses; accesses are aligned to 8 bytes by masking the low bits
-// (the machine has no alignment traps).
+// (the machine has no alignment traps). A one-entry page cache fronts
+// the page map: workload access patterns are strongly page-local, so
+// most loads and stores skip the map probe — the single hottest
+// operation in the functional emulator after the interpreter switch
+// itself.
 type Memory struct {
-	pages map[uint64]*page
+	pages    map[uint64]*page
+	lastPN   uint64
+	lastPage *page // nil until the first hit caches a page
 }
 
 // NewMemory returns an empty memory; all words read as zero.
@@ -32,9 +38,14 @@ func NewMemory() *Memory {
 // Load reads the 64-bit word containing byte address addr.
 func (m *Memory) Load(addr uint64) int64 {
 	w := addr >> 3
-	p := m.pages[w>>pageWordShift]
-	if p == nil {
-		return 0
+	pn := w >> pageWordShift
+	p := m.lastPage
+	if p == nil || pn != m.lastPN {
+		p = m.pages[pn]
+		if p == nil {
+			return 0
+		}
+		m.lastPN, m.lastPage = pn, p
 	}
 	return p[w&(pageWords-1)]
 }
@@ -43,10 +54,14 @@ func (m *Memory) Load(addr uint64) int64 {
 func (m *Memory) Store(addr uint64, v int64) {
 	w := addr >> 3
 	pn := w >> pageWordShift
-	p := m.pages[pn]
-	if p == nil {
-		p = new(page)
-		m.pages[pn] = p
+	p := m.lastPage
+	if p == nil || pn != m.lastPN {
+		p = m.pages[pn]
+		if p == nil {
+			p = new(page)
+			m.pages[pn] = p
+		}
+		m.lastPN, m.lastPage = pn, p
 	}
 	p[w&(pageWords-1)] = v
 }

@@ -37,42 +37,14 @@ func (s *State) ForkInto(sh *Shadow, pc int) {
 	sh.preds[isa.P0] = true
 	sh.pc = pc
 	sh.halted = false
-	clear(sh.overlay)
-}
-
-func (sh *Shadow) reg(r isa.Reg) int64 {
-	if r == isa.R0 {
-		return 0
-	}
-	return sh.regs[r]
-}
-func (sh *Shadow) setReg(r isa.Reg, v int64) {
-	if r != isa.R0 {
-		sh.regs[r] = v
-	}
-}
-func (sh *Shadow) pred(p isa.PReg) bool {
-	if p == isa.P0 {
-		return true
-	}
-	return sh.preds[p]
-}
-func (sh *Shadow) setPred(p isa.PReg, v bool) {
-	if p != isa.P0 && p != isa.PNone {
-		sh.preds[p] = v
-	}
-}
-func (sh *Shadow) load(a uint64) int64 {
-	if v, ok := sh.overlay[a>>3]; ok {
-		return v
-	}
-	return sh.base.Mem.Load(a)
-}
-func (sh *Shadow) store(a uint64, v int64) {
+	// exec uses a non-nil overlay as the wrong-path discriminator (it
+	// redirects stores there), so the map must exist before the first
+	// store; the bucket storage is retained across forks.
 	if sh.overlay == nil {
 		sh.overlay = make(map[uint64]int64, 8)
+	} else {
+		clear(sh.overlay)
 	}
-	sh.overlay[a>>3] = v
 }
 
 // PC returns the shadow's current µop index.
@@ -85,27 +57,42 @@ func (sh *Shadow) Halted() bool { return sh.halted }
 // architecturally computed (shadow) direction unless the caller
 // overrides it via StepForced; HALT freezes the shadow.
 func (sh *Shadow) Step() Step {
+	var st Step
+	sh.StepInto(&st)
+	return st
+}
+
+// StepInto is Step with an out-parameter (see State.StepInto).
+func (sh *Shadow) StepInto(st *Step) {
 	if sh.halted || sh.pc < 0 || sh.pc >= len(sh.base.Prog.Code) {
 		sh.halted = true
-		return Step{PC: sh.pc, Halted: true}
+		*st = Step{PC: sh.pc, Halted: true}
+		return
 	}
-	st := exec(sh, sh.base.Prog, sh.pc, nil)
+	exec(st, &sh.regs, &sh.preds, sh.base.Mem, sh.overlay, sh.base.Prog, sh.pc, nil)
 	sh.pc = st.NextPC
 	if st.Halted {
 		sh.halted = true
 	}
-	return st
 }
 
 // StepForced executes the branch at the shadow PC with a forced
 // direction (used when the front end's predictor steers wrong-path
 // fetch).
 func (sh *Shadow) StepForced(taken bool) Step {
+	var st Step
+	sh.StepForcedInto(&st, taken)
+	return st
+}
+
+// StepForcedInto is StepForced with an out-parameter (see
+// State.StepInto).
+func (sh *Shadow) StepForcedInto(st *Step, taken bool) {
 	if sh.halted || sh.pc < 0 || sh.pc >= len(sh.base.Prog.Code) {
 		sh.halted = true
-		return Step{PC: sh.pc, Halted: true}
+		*st = Step{PC: sh.pc, Halted: true}
+		return
 	}
-	st := exec(sh, sh.base.Prog, sh.pc, &taken)
+	exec(st, &sh.regs, &sh.preds, sh.base.Mem, sh.overlay, sh.base.Prog, sh.pc, &taken)
 	sh.pc = st.NextPC
-	return st
 }

@@ -48,6 +48,21 @@ func FuzzTimingConformance(f *testing.F) {
 	})
 }
 
+// FuzzCodecConformance drives the JSON↔binary result differential from
+// the seed space: coverage feedback steers toward programs whose
+// results stress unusual codec shapes (deep branch tables, saturated
+// counters). The cpu package's FuzzResultCodec attacks the decoder with
+// hostile bytes; this target checks real results end to end.
+func FuzzCodecConformance(f *testing.F) {
+	fuzzSeeds(f)
+	o := &CodecOracle{}
+	f.Fuzz(func(t *testing.T, seed uint64) {
+		if err := o.Check(context.Background(), NewCase(seed)); err != nil {
+			t.Fatalf("seed %d: %v\n%s", seed, err, testutil.ReplayHint("codec", seed))
+		}
+	})
+}
+
 // FuzzSourceCodec feeds arbitrary bytes to the repro decoder: hostile
 // repro files must produce errors, never panics, and every valid
 // decode must re-encode losslessly.

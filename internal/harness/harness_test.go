@@ -71,7 +71,7 @@ func TestSourceCodecRejectsGarbage(t *testing.T) {
 func TestCleanSoak(t *testing.T) {
 	seeds := testutil.Seeds(t, 6, 2)
 	rep, err := Soak(context.Background(), Options{
-		Oracles:  []Oracle{&ArchOracle{}, &TimingOracle{}, &CacheOracle{}},
+		Oracles:  []Oracle{&ArchOracle{}, &TimingOracle{}, &CacheOracle{}, &CodecOracle{}},
 		SeedBase: 7000,
 		Seeds:    seeds,
 	})
@@ -81,12 +81,25 @@ func TestCleanSoak(t *testing.T) {
 	if len(rep.Failures) != 0 {
 		t.Fatalf("clean soak found failures: %+v", rep.Failures)
 	}
-	if rep.Seeds != seeds || rep.Checks != 3*seeds {
-		t.Fatalf("report: %d seeds, %d checks (want %d, %d)", rep.Seeds, rep.Checks, seeds, 3*seeds)
+	if rep.Seeds != seeds || rep.Checks != 4*seeds {
+		t.Fatalf("report: %d seeds, %d checks (want %d, %d)", rep.Seeds, rep.Checks, seeds, 4*seeds)
 	}
-	for _, name := range []string{"arch", "timing", "cache"} {
+	for _, name := range []string{"arch", "timing", "cache", "codec"} {
 		if rep.PerOracle[name] != seeds {
 			t.Fatalf("oracle %s ran %d times, want %d", name, rep.PerOracle[name], seeds)
+		}
+	}
+}
+
+// TestCodecOracleCleanOnFreshSeeds: the JSON↔binary differential holds
+// over generated programs the codec's unit fixtures never saw.
+func TestCodecOracleCleanOnFreshSeeds(t *testing.T) {
+	o := &CodecOracle{}
+	seeds := testutil.Seeds(t, 8, 3)
+	for seed := 0; seed < seeds; seed++ {
+		c := NewCase(uint64(9700 + seed))
+		if err := o.Check(context.Background(), c); err != nil {
+			t.Fatalf("seed %d: %v\n%s", seed, err, testutil.ReplayHint("codec", c.Seed))
 		}
 	}
 }

@@ -14,6 +14,11 @@ package harness
 //   - cache: a warm lab.Store read returns byte-identical JSON to the
 //     cold simulation that produced it, and re-simulation reproduces
 //     the stored bytes (end-to-end determinism of result + store).
+//   - codec: the binary result codec is a lossless re-encoding of the
+//     JSON wire form — encode→decode round-trips to JSON-identical
+//     results, re-encoding is byte-stable, and the frame is exactly
+//     self-delimiting (differential JSON↔binary check over real
+//     simulator output, not hand-built fixtures).
 
 import (
 	"context"
@@ -286,6 +291,70 @@ func (o *CacheOracle) Check(ctx context.Context, c Case) error {
 	return nil
 }
 
+// CodecOracle is the JSON↔binary differential check over genuine
+// simulator output: for every variant of the generated program, the
+// binary result frame must decode to a result whose JSON serialization
+// matches the original's exactly, re-encode to the same bytes, and be
+// precisely self-delimiting (EncodedResultSize == appended == consumed).
+// Fuzzing this against compiler-generated programs exercises codec
+// shapes hand-written fixtures miss — long branch tables, zero-branch
+// results, saturated counters.
+type CodecOracle struct{}
+
+func (o *CodecOracle) Name() string          { return "codec" }
+func (o *CodecOracle) SourceSensitive() bool { return true }
+
+func (o *CodecOracle) Check(ctx context.Context, c Case) error {
+	thr := compiler.DefaultThresholds()
+	cfg := config.DefaultMachine()
+	for _, v := range compiler.Variants() {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		p, err := compiler.CompileOpt(c.Source, v, thr)
+		if err != nil {
+			return fmt.Errorf("compile %v: %w", v, err)
+		}
+		sim, err := cpu.New(cfg, p, nil)
+		if err != nil {
+			return fmt.Errorf("%v: %w", v, err)
+		}
+		res, err := sim.Run(maxCPUCycles)
+		if err != nil {
+			return fmt.Errorf("%v: %w", v, err)
+		}
+		wantJSON, err := json.Marshal(res)
+		if err != nil {
+			return fmt.Errorf("%v marshal: %w", v, err)
+		}
+		frame := cpu.AppendResult(nil, res)
+		if want := cpu.EncodedResultSize(res); len(frame) != want {
+			return fmt.Errorf("%v: encoded %d bytes, EncodedResultSize promised %d", v, len(frame), want)
+		}
+		var back cpu.Result
+		n, err := cpu.DecodeResult(frame, &back)
+		if err != nil {
+			return fmt.Errorf("%v decode: %w", v, err)
+		}
+		if n != len(frame) {
+			return fmt.Errorf("%v: decode consumed %d of %d bytes — frame is not self-delimiting", v, n, len(frame))
+		}
+		gotJSON, err := json.Marshal(&back)
+		if err != nil {
+			return fmt.Errorf("%v remarshal: %w", v, err)
+		}
+		if string(gotJSON) != string(wantJSON) {
+			return fmt.Errorf("%v: binary round-trip diverges from JSON:\nwant: %s\ngot:  %s",
+				v, wantJSON, gotJSON)
+		}
+		again := cpu.AppendResult(nil, &back)
+		if string(again) != string(frame) {
+			return fmt.Errorf("%v: re-encoding a decoded result changed the bytes", v)
+		}
+	}
+	return nil
+}
+
 // OracleByName reconstructs an oracle from its Name() string — the
 // repro format stores only the name, so a replayed failure re-runs
 // under exactly the oracle (and kill-switch setting) that found it.
@@ -299,10 +368,12 @@ func OracleByName(name string) (Oracle, error) {
 		return &TimingOracle{}, nil
 	case "cache":
 		return &CacheOracle{}, nil
+	case "codec":
+		return &CodecOracle{}, nil
 	case "cluster":
 		return &ClusterOracle{}, nil
 	default:
-		return nil, fmt.Errorf("harness: unknown oracle %q (have arch, timing, cache, cluster)", name)
+		return nil, fmt.Errorf("harness: unknown oracle %q (have arch, timing, cache, codec, cluster)", name)
 	}
 }
 
@@ -313,6 +384,7 @@ func DefaultOracles(killSwitch bool) []Oracle {
 		&ArchOracle{KillSwitch: killSwitch},
 		&TimingOracle{},
 		&CacheOracle{},
+		&CodecOracle{},
 		&ClusterOracle{},
 	}
 }

@@ -127,19 +127,26 @@ func (l *Lab) Result(s Spec) (*cpu.Result, error) {
 // and concurrent waiters whose own context is still live retry as the
 // new producer instead of inheriting the cancellation.
 func (l *Lab) ResultContext(ctx context.Context, s Spec) (*cpu.Result, error) {
-	key := s.Key()
+	return l.ResultKeyed(ctx, s.Keyed())
+}
+
+// ResultKeyed is ResultContext for callers that already computed the
+// spec's key and hash (serve request handlers, campaign warm-up,
+// cluster shards): the memo probe and the store address reuse the
+// cached forms instead of re-deriving them per lookup.
+func (l *Lab) ResultKeyed(ctx context.Context, k Keyed) (*cpu.Result, error) {
 	for {
 		l.mu.Lock()
 		if l.entries == nil {
 			l.entries = make(map[string]*entry)
 		}
-		if e, ok := l.entries[key]; ok {
+		if e, ok := l.entries[k.Key]; ok {
 			l.c.MemHits++
 			l.mu.Unlock()
 			select {
 			case <-e.done:
 			case <-ctx.Done():
-				return nil, fmt.Errorf("lab: %s: %w", s, ctx.Err())
+				return nil, fmt.Errorf("lab: %s: %w", k.Spec, ctx.Err())
 			}
 			if e.removed && ctx.Err() == nil {
 				continue // producer was cancelled, not the spec's fault
@@ -147,17 +154,17 @@ func (l *Lab) ResultContext(ctx context.Context, s Spec) (*cpu.Result, error) {
 			return e.res, e.err
 		}
 		e := &entry{done: make(chan struct{})}
-		l.entries[key] = e
+		l.entries[k.Key] = e
 		if l.started.IsZero() {
 			l.started = time.Now()
 		}
 		l.mu.Unlock()
 
-		e.res, e.err = l.produce(ctx, s, key)
+		e.res, e.err = l.produce(ctx, k)
 		if e.err != nil && isCancellation(e.err) {
 			l.mu.Lock()
 			l.c.Canceled++
-			delete(l.entries, key)
+			delete(l.entries, k.Key)
 			l.mu.Unlock()
 			e.removed = true
 		}
@@ -173,9 +180,10 @@ func isCancellation(err error) bool {
 // produce fills one entry: store lookup, then simulation (persisting
 // the fresh result). Store write failures are reported on Log but do
 // not fail the run — the result is still returned.
-func (l *Lab) produce(ctx context.Context, s Spec, key string) (*cpu.Result, error) {
+func (l *Lab) produce(ctx context.Context, k Keyed) (*cpu.Result, error) {
+	s := k.Spec
 	if l.Store != nil {
-		if r := l.Store.Get(key); r != nil {
+		if r := l.Store.GetHashed(k.Key, k.Hash); r != nil {
 			l.note(s, r, 0, &l.c.DiskHits, "hit")
 			return r, nil
 		}
@@ -204,7 +212,7 @@ func (l *Lab) produce(ctx context.Context, s Spec, key string) (*cpu.Result, err
 		return nil, err
 	}
 	if l.Store != nil {
-		if perr := l.Store.Put(key, res); perr != nil && l.Log != nil {
+		if perr := l.Store.PutHashed(k.Key, k.Hash, res); perr != nil && l.Log != nil {
 			l.mu.Lock()
 			fmt.Fprintf(l.Log, "lab: %v (result kept in memory)\n", perr)
 			l.mu.Unlock()
@@ -259,36 +267,40 @@ func (l *Lab) Summary() string {
 // Warm returns once every spec has been attempted.
 func (l *Lab) Warm(specs []Spec) {
 	seen := make(map[string]bool, len(specs))
-	uniq := specs[:0:0]
+	uniq := make([]Keyed, 0, len(specs))
 	for _, s := range specs {
-		if k := s.Key(); !seen[k] {
-			seen[k] = true
-			uniq = append(uniq, s)
+		// One key+hash computation per campaign item; the workers
+		// below (and their memo/store lookups) reuse the cached forms.
+		k := s.Keyed()
+		if !seen[k.Key] {
+			seen[k.Key] = true
+			uniq = append(uniq, k)
 		}
 	}
 	n := l.workers()
 	if n > len(uniq) {
 		n = len(uniq)
 	}
+	ctx := context.Background()
 	if n <= 1 {
-		for _, s := range uniq {
-			l.Result(s) //nolint:errcheck // memoized; re-surfaced by the render pass
+		for _, k := range uniq {
+			l.ResultKeyed(ctx, k) //nolint:errcheck // memoized; re-surfaced by the render pass
 		}
 		return
 	}
-	ch := make(chan Spec)
+	ch := make(chan Keyed)
 	var wg sync.WaitGroup
 	for i := 0; i < n; i++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for s := range ch {
-				l.Result(s) //nolint:errcheck // see above
+			for k := range ch {
+				l.ResultKeyed(ctx, k) //nolint:errcheck // see above
 			}
 		}()
 	}
-	for _, s := range uniq {
-		ch <- s
+	for _, k := range uniq {
+		ch <- k
 	}
 	close(ch)
 	wg.Wait()

@@ -18,14 +18,14 @@ package lab
 
 import (
 	"context"
-	"crypto/sha256"
-	"encoding/hex"
 	"fmt"
 	"hash/fnv"
 	"reflect"
 	"strconv"
 	"strings"
+	"sync"
 
+	"wishbranch/internal/artifact"
 	"wishbranch/internal/compiler"
 	"wishbranch/internal/config"
 	"wishbranch/internal/cpu"
@@ -96,8 +96,25 @@ func (s Spec) Key() string {
 
 // Hash returns the SHA-256 of the key, the store's content address.
 func (s Spec) Hash() string {
-	sum := sha256.Sum256([]byte(s.Key()))
-	return hex.EncodeToString(sum[:])
+	return hashKey(s.Key())
+}
+
+// Keyed pairs a Spec with its precomputed cache key and content hash.
+// Key() rebuilds the machine signature by reflection and Hash() runs
+// SHA-256 over it — cheap once, wasteful on every memo probe, store
+// lookup, and ring placement of a campaign item. Hot paths (Lab,
+// serve, cluster) build a Keyed once per item and thread it through;
+// TestKeyedMatchesKey pins the cached forms to the live ones.
+type Keyed struct {
+	Spec Spec
+	Key  string
+	Hash string
+}
+
+// Keyed computes the spec's key and content hash once.
+func (s Spec) Keyed() Keyed {
+	k := s.Key()
+	return Keyed{Spec: s, Key: k, Hash: hashKey(k)}
 }
 
 // KeyHash maps a cache key (or any ring label) to a uint64 ring
@@ -138,13 +155,21 @@ func (s Spec) simulate(ctx context.Context, attach func(*cpu.CPU)) (*cpu.Result,
 	if err := s.Validate(); err != nil {
 		return nil, err
 	}
-	b, _ := workload.ByName(s.Bench)
-	src, mem := b.Build(s.Input, s.Scale)
-	p, err := compiler.CompileOpt(src, s.Variant, s.Thresholds)
+	// Build+compile go through the once-per-process artifact cache:
+	// every machine sweep over the same binary shares one compiled
+	// program (immutable — see package artifact's audit tests) and one
+	// memory initializer instead of rebuilding the workload per run.
+	art, err := artifact.Get(artifact.Key{
+		Bench:      s.Bench,
+		Input:      s.Input,
+		Variant:    s.Variant,
+		Scale:      s.Scale,
+		Thresholds: s.Thresholds,
+	})
 	if err != nil {
 		return nil, err
 	}
-	c, err := cpu.New(s.Machine, p, mem)
+	c, err := cpu.New(s.Machine, art.Prog, art.Mem)
 	if err != nil {
 		return nil, err
 	}
@@ -185,16 +210,29 @@ func (s Spec) String() string {
 // kinds the encoder does not understand (maps, funcs, channels, ...)
 // panic, so an incompatible extension of config.Machine fails loudly
 // in any test that touches the lab rather than corrupting the cache.
+//
+// Signatures are memoized keyed by the machine *value* (config.Machine
+// is a flat comparable struct). Value keying makes the cache immune to
+// in-place mutation — a mutated machine is a different value and lands
+// in a different slot — while a campaign's handful of distinct
+// machines each reflect exactly once per process instead of once per
+// key computation (the dominant cost of a fully store-warm campaign).
 func MachineSig(m *config.Machine) string {
 	if m == nil {
 		// An ill-formed spec; Validate rejects it before simulation,
 		// but its key must still be computable (e.g. for error paths).
 		return "nil"
 	}
+	if s, ok := sigCache.Load(*m); ok {
+		return s.(string)
+	}
 	var b strings.Builder
 	encodeValue(&b, reflect.ValueOf(m).Elem())
-	return b.String()
+	s, _ := sigCache.LoadOrStore(*m, b.String())
+	return s.(string)
 }
+
+var sigCache sync.Map // config.Machine → string
 
 func encodeValue(b *strings.Builder, v reflect.Value) {
 	switch v.Kind() {

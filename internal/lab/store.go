@@ -2,6 +2,7 @@ package lab
 
 import (
 	"crypto/sha256"
+	"encoding/binary"
 	"encoding/hex"
 	"encoding/json"
 	"fmt"
@@ -12,10 +13,11 @@ import (
 )
 
 // Store is a persistent content-addressed result store. Each record is
-// one cpu.Result serialized as JSON under the SHA-256 of its spec key,
-// written atomically (temp file + rename). Corrupt, stale, or
-// foreign-schema records are treated as misses and re-simulated —
-// never an error, never a crash.
+// one cpu.Result serialized with the binary result codec under the
+// SHA-256 of its spec key, written atomically (temp file + rename);
+// legacy JSON records written before the codec still decode via a
+// fallback read. Corrupt, stale, or foreign-schema records are treated
+// as misses and re-simulated — never an error, never a crash.
 type Store struct {
 	dir string
 
@@ -29,13 +31,65 @@ type Store struct {
 	FaultPut func(key string) error
 }
 
-// record is the on-disk format. The full key is stored alongside the
-// result so a hash collision or a stale schema reads as a miss instead
-// of returning the wrong result.
+// record is the legacy JSON on-disk format (every store written before
+// the binary codec). The full key is stored alongside the result so a
+// hash collision or a stale schema reads as a miss instead of
+// returning the wrong result.
 type record struct {
 	Schema int         `json:"schema"`
 	Key    string      `json:"key"`
 	Result *cpu.Result `json:"result"`
+}
+
+// Binary record format (the write format since the result codec;
+// DESIGN.md §14). Same dir/v3 namespace and the same guarantees as the
+// JSON records — full key stored, schema checked, anything malformed
+// is a miss — but the result payload is the versioned cpu codec frame
+// instead of JSON, which is what makes a warm campaign's store reads
+// nearly free:
+//
+//	offset  size      field
+//	0       4         magic "WBR1"
+//	4       4         store schema (uint32 LE, = SchemaVersion)
+//	8       4         key length K (uint32 LE)
+//	12      K         key bytes
+//	12+K    rest      cpu.Result binary frame (self-delimiting)
+//
+// The record is valid only if the result frame consumes the file's
+// remaining bytes exactly. Existing v3 JSON records keep decoding via
+// getJSON fallback, so a pre-upgrade cache warms a post-upgrade
+// campaign; fresh writes land next to them as .bin files.
+const binRecordMagic = "WBR1"
+
+// appendBinRecord serializes a binary record.
+func appendBinRecord(dst []byte, key string, r *cpu.Result) []byte {
+	dst = append(dst, binRecordMagic...)
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(SchemaVersion))
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(key)))
+	dst = append(dst, key...)
+	return cpu.AppendResult(dst, r)
+}
+
+// decodeBinRecord validates and decodes a binary record, returning nil
+// on any mismatch — corrupt, truncated, foreign schema, or key
+// collision all read as misses.
+func decodeBinRecord(data []byte, key string) *cpu.Result {
+	if len(data) < 12 || string(data[:4]) != binRecordMagic {
+		return nil
+	}
+	if binary.LittleEndian.Uint32(data[4:]) != SchemaVersion {
+		return nil
+	}
+	klen := int(binary.LittleEndian.Uint32(data[8:]))
+	if klen != len(key) || len(data) < 12+klen || string(data[12:12+klen]) != key {
+		return nil
+	}
+	var r cpu.Result
+	n, err := cpu.DecodeResult(data[12+klen:], &r)
+	if err != nil || 12+klen+n != len(data) {
+		return nil
+	}
+	return &r
 }
 
 // DefaultDir returns the default store location,
@@ -65,8 +119,13 @@ func (s *Store) Dir() string { return s.dir }
 func schemaDirName() string { return fmt.Sprintf("v%d", SchemaVersion) }
 
 // path shards records by the first byte of the hash to keep directory
-// fan-out sane for large campaigns.
+// fan-out sane for large campaigns. .bin is the current (binary)
+// record; .json is the legacy record the fallback read still honors.
 func (s *Store) path(hash string) string {
+	return filepath.Join(s.dir, schemaDirName(), hash[:2], hash+".bin")
+}
+
+func (s *Store) legacyPath(hash string) string {
 	return filepath.Join(s.dir, schemaDirName(), hash[:2], hash+".json")
 }
 
@@ -74,8 +133,24 @@ func (s *Store) path(hash string) string {
 // corrupt, schema mismatch, or key mismatch (hash collision). The
 // caller just re-simulates.
 func (s *Store) Get(key string) *cpu.Result {
-	hash := hashKey(key)
-	data, err := os.ReadFile(s.path(hash))
+	return s.GetHashed(key, hashKey(key))
+}
+
+// GetHashed is Get with a precomputed content hash (= hashKey(key),
+// pinned by TestKeyedMatchesKey), sparing hot callers the SHA-256.
+func (s *Store) GetHashed(key, hash string) *cpu.Result {
+	if data, err := os.ReadFile(s.path(hash)); err == nil {
+		if r := decodeBinRecord(data, key); r != nil {
+			return r
+		}
+	}
+	return s.getJSON(key, hash)
+}
+
+// getJSON reads a legacy v3 JSON record, so stores written before the
+// binary codec keep serving warm campaigns after the upgrade.
+func (s *Store) getJSON(key, hash string) *cpu.Result {
+	data, err := os.ReadFile(s.legacyPath(hash))
 	if err != nil {
 		return nil
 	}
@@ -100,20 +175,21 @@ func (s *Store) Get(key string) *cpu.Result {
 // cpu.Result carries no host-side measurements, so the stored bytes
 // are a pure function of the spec key.
 func (s *Store) Put(key string, r *cpu.Result) error {
+	return s.PutHashed(key, hashKey(key), r)
+}
+
+// PutHashed is Put with a precomputed content hash (= hashKey(key)).
+func (s *Store) PutHashed(key, hash string, r *cpu.Result) error {
 	if s.FaultPut != nil {
 		if err := s.FaultPut(key); err != nil {
 			return fmt.Errorf("lab: store put: %w", err)
 		}
 	}
-	hash := hashKey(key)
 	dst := s.path(hash)
 	if err := os.MkdirAll(filepath.Dir(dst), 0o777); err != nil {
 		return fmt.Errorf("lab: store put: %w", err)
 	}
-	data, err := json.Marshal(record{Schema: SchemaVersion, Key: key, Result: r})
-	if err != nil {
-		return fmt.Errorf("lab: store put: %w", err)
-	}
+	data := appendBinRecord(nil, key, r)
 	tmp, err := os.CreateTemp(filepath.Dir(dst), "."+hash+".tmp-*")
 	if err != nil {
 		return fmt.Errorf("lab: store put: %w", err)

@@ -2,6 +2,7 @@ package lab
 
 import (
 	"bytes"
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"strings"
@@ -55,6 +56,109 @@ func TestStoreIgnoresCorruptRecords(t *testing.T) {
 		mut  func(data []byte) []byte
 	}{
 		{"truncated", func(d []byte) []byte { return d[:len(d)/2] }},
+		{"garbage", func(d []byte) []byte { return []byte("not a record at all") }},
+		{"empty", func(d []byte) []byte { return nil }},
+		{"wrong magic", func(d []byte) []byte { d[0] = 'X'; return d }},
+		{"wrong store schema", func(d []byte) []byte { d[4] = 99; return d }},
+		{"key length mismatch", func(d []byte) []byte { d[8]++; return d }},
+		{"key mismatch", func(d []byte) []byte { d[12] ^= 0xff; return d }},
+		{"corrupt result frame", func(d []byte) []byte { d[len(d)-1] ^= 0xff; d[len(d)-9] ^= 0xff; return d }},
+		{"wrong codec version", func(d []byte) []byte {
+			// Flip the version byte inside the embedded result frame.
+			klen := int(d[8]) | int(d[9])<<8 | int(d[10])<<16 | int(d[11])<<24
+			d[12+klen+2] = 0xfe
+			return d
+		}},
+		{"trailing garbage", func(d []byte) []byte { return append(d, 0xaa) }},
+	}
+	orig, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range corruptions {
+		if err := os.WriteFile(path, c.mut(append([]byte{}, orig...)), 0o666); err != nil {
+			t.Fatal(err)
+		}
+		if st.Get(key) != nil {
+			t.Errorf("%s record was served instead of treated as a miss", c.name)
+		}
+	}
+}
+
+// writeLegacyJSONRecord plants a pre-binary-codec v3 record, exactly
+// as the old Put marshaled it.
+func writeLegacyJSONRecord(t *testing.T, st *Store, key string, r *cpu.Result) string {
+	t.Helper()
+	path := st.legacyPath(hashKey(key))
+	if err := os.MkdirAll(filepath.Dir(path), 0o777); err != nil {
+		t.Fatal(err)
+	}
+	data, err := json.Marshal(record{Schema: SchemaVersion, Key: key, Result: r})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data, 0o666); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestStoreReadsLegacyJSONRecords is the migration regression test: a
+// store populated before the binary codec (v3 JSON records) keeps
+// serving warm reads through the fallback path, and a fresh Put
+// upgrades the entry in place — the binary record then takes
+// precedence.
+func TestStoreReadsLegacyJSONRecords(t *testing.T) {
+	st, err := OpenStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := testSpec().Key()
+	want := testResult()
+	writeLegacyJSONRecord(t, st, key, want)
+
+	got := st.Get(key)
+	if got == nil {
+		t.Fatal("legacy JSON record read as a miss")
+	}
+	if got.Cycles != want.Cycles || got.RetiredUops != want.RetiredUops {
+		t.Fatalf("legacy read changed the result: got %+v want %+v", got, want)
+	}
+
+	// A fresh Put writes the binary form; with both present the binary
+	// record wins (plant a poisoned legacy record to prove it).
+	upgraded := testResult()
+	upgraded.Cycles++
+	if err := st.Put(key, upgraded); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(st.path(hashKey(key))); err != nil {
+		t.Fatalf("Put did not write a binary record: %v", err)
+	}
+	if got := st.Get(key); got == nil || got.Cycles != upgraded.Cycles {
+		t.Fatalf("binary record did not take precedence: got %+v", got)
+	}
+}
+
+// TestStoreLegacyJSONCorruption keeps the original JSON corruption
+// table alive against the fallback path: a corrupt legacy record is a
+// miss, never an error.
+func TestStoreLegacyJSONCorruption(t *testing.T) {
+	st, err := OpenStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := testSpec().Key()
+	path := writeLegacyJSONRecord(t, st, key, testResult())
+	orig, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	corruptions := []struct {
+		name string
+		mut  func(data []byte) []byte
+	}{
+		{"truncated", func(d []byte) []byte { return d[:len(d)/2] }},
 		{"garbage", func(d []byte) []byte { return []byte("not json at all") }},
 		{"empty", func(d []byte) []byte { return nil }},
 		{"wrong schema", func(d []byte) []byte {
@@ -67,16 +171,12 @@ func TestStoreIgnoresCorruptRecords(t *testing.T) {
 			return []byte(strings.Replace(string(d), `"result":{`, `"result":null,"x":{`, 1))
 		}},
 	}
-	orig, err := os.ReadFile(path)
-	if err != nil {
-		t.Fatal(err)
-	}
 	for _, c := range corruptions {
 		if err := os.WriteFile(path, c.mut(append([]byte{}, orig...)), 0o666); err != nil {
 			t.Fatal(err)
 		}
 		if st.Get(key) != nil {
-			t.Errorf("%s record was served instead of treated as a miss", c.name)
+			t.Errorf("%s legacy record was served instead of treated as a miss", c.name)
 		}
 	}
 }

@@ -1,0 +1,385 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"wishbranch/internal/cpu"
+	"wishbranch/internal/lab"
+)
+
+// wireResult builds a distinctive result for codec tests, cheap enough
+// to stamp out in bulk.
+func wireResult(seed uint64) *cpu.Result {
+	return &cpu.Result{
+		Cycles:       1000 + seed,
+		RetiredUops:  2000 + seed,
+		CondBranches: 17 * seed,
+		Halted:       true,
+	}
+}
+
+func TestBinaryRunResponseRoundTrip(t *testing.T) {
+	want := RunResponse{Key: "v3|bench=gzip|whatever", Result: wireResult(7)}
+	data := appendRunResponse(nil, want.Key, want.Result)
+	var got RunResponse
+	if err := decodeRunResponse(data, &got); err != nil {
+		t.Fatal(err)
+	}
+	wantJSON, _ := json.Marshal(want)
+	gotJSON, _ := json.Marshal(got)
+	if !bytes.Equal(wantJSON, gotJSON) {
+		t.Errorf("round trip differs:\nwant %s\ngot  %s", wantJSON, gotJSON)
+	}
+}
+
+func TestBinaryRunResponseCorruption(t *testing.T) {
+	good := appendRunResponse(nil, "key", wireResult(1))
+	cases := map[string][]byte{
+		"empty":             {},
+		"short length":      good[:2],
+		"truncated key":     good[:5],
+		"truncated result":  good[:len(good)-3],
+		"trailing garbage":  append(append([]byte{}, good...), 0xee),
+		"absurd key length": {0xff, 0xff, 0xff, 0xff, 'k'},
+	}
+	for name, data := range cases {
+		var resp RunResponse
+		err := decodeRunResponse(data, &resp)
+		if !errors.Is(err, ErrBinWire) {
+			t.Errorf("%s: err = %v, want ErrBinWire", name, err)
+		}
+	}
+}
+
+func TestBinaryCampaignItemRoundTrip(t *testing.T) {
+	items := []CampaignItem{
+		{Key: "ok-key", Result: wireResult(3)},
+		{Key: "failed-key", Err: "lab: simulated explosion"},
+	}
+	for _, want := range items {
+		data := appendCampaignItem(nil, &want)
+		got, err := decodeCampaignItem(data)
+		if err != nil {
+			t.Fatalf("%s: %v", want.Key, err)
+		}
+		wantJSON, _ := json.Marshal(want)
+		gotJSON, _ := json.Marshal(got)
+		if !bytes.Equal(wantJSON, gotJSON) {
+			t.Errorf("%s round trip differs:\nwant %s\ngot  %s", want.Key, wantJSON, gotJSON)
+		}
+	}
+}
+
+func TestBinaryCampaignItemCorruption(t *testing.T) {
+	ok := appendCampaignItem(nil, &CampaignItem{Key: "k", Result: wireResult(2)})
+	errItem := appendCampaignItem(nil, &CampaignItem{Key: "k", Err: "boom"})
+	badKind := append([]byte{}, ok...)
+	badKind[4+1] = 9 // kind byte right after the 1-byte key
+	cases := map[string][]byte{
+		"empty":                {},
+		"missing kind":         ok[:5],
+		"truncated result":     ok[:len(ok)-1],
+		"truncated error":      errItem[:len(errItem)-2],
+		"trailing after error": append(append([]byte{}, errItem...), 0),
+		"unknown kind":         badKind,
+		"empty error string":   {1, 0, 0, 0, 'k', 1, 0, 0, 0, 0},
+	}
+	for name, data := range cases {
+		if _, err := decodeCampaignItem(data); !errors.Is(err, ErrBinWire) {
+			t.Errorf("%s: err = %v, want ErrBinWire", name, err)
+		}
+	}
+}
+
+// TestCampaignStreamReassemblesRequestOrder: frames written in any
+// completion order come back in request order, and onItem sees the
+// completion order.
+func TestCampaignStreamReassemblesRequestOrder(t *testing.T) {
+	const n = 5
+	items := make([]CampaignItem, n)
+	for i := range items {
+		items[i] = CampaignItem{Key: fmt.Sprintf("key-%d", i), Result: wireResult(uint64(i))}
+	}
+	items[3] = CampaignItem{Key: "key-3", Err: "item 3 failed"}
+
+	completion := []int{3, 0, 4, 1, 2}
+	var wire []byte
+	for _, i := range completion {
+		wire = appendStreamItemFrame(wire, i, &items[i])
+	}
+	wire = appendStreamEndFrame(wire, n)
+
+	var sawOrder []int
+	got, err := readCampaignStream(bytes.NewReader(wire), n, func(i int, item CampaignItem) {
+		sawOrder = append(sawOrder, i)
+		if item.Key != items[i].Key {
+			t.Errorf("onItem(%d): key %q, want %q", i, item.Key, items[i].Key)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantJSON, _ := json.Marshal(items)
+	gotJSON, _ := json.Marshal(got)
+	if !bytes.Equal(wantJSON, gotJSON) {
+		t.Errorf("merged stream differs from request order:\nwant %s\ngot  %s", wantJSON, gotJSON)
+	}
+	if fmt.Sprint(sawOrder) != fmt.Sprint(completion) {
+		t.Errorf("onItem order %v, want completion order %v", sawOrder, completion)
+	}
+}
+
+func TestCampaignStreamMalformed(t *testing.T) {
+	item := CampaignItem{Key: "k", Result: wireResult(9)}
+	frame := appendStreamItemFrame(nil, 0, &item)
+	end := func(count int) []byte { return appendStreamEndFrame(nil, count) }
+	join := func(bs ...[]byte) []byte { return bytes.Join(bs, nil) }
+
+	cases := map[string][]byte{
+		"empty":              {},
+		"cut mid header":     frame[:3],
+		"cut mid body":       frame[:len(frame)-4],
+		"no terminal frame":  frame,
+		"eof after items":    frame, // same bytes; named for the contract
+		"terminal count low": join(frame, end(0)),
+		"missing item":       end(1),
+		"index out of range": join(appendStreamItemFrame(nil, 5, &item), end(1)),
+		"duplicate index":    join(frame, frame, end(1)),
+		"unknown tag":        {0x51, 0, 0, 0, 0},
+		"garbled item body":  join([]byte{streamItemTag, 0, 0, 0, 0, 3, 0, 0, 0, 1, 2, 3}, end(1)),
+	}
+	for name, wire := range cases {
+		if _, err := readCampaignStream(bytes.NewReader(wire), 1, nil); !errors.Is(err, ErrBinWire) {
+			t.Errorf("%s: err = %v, want ErrBinWire", name, err)
+		}
+	}
+}
+
+// TestServerNegotiatesRunEncoding: the same /v1/run answers binary to
+// a client that asks for it and JSON to one that does not, with
+// json-equal payloads.
+func TestServerNegotiatesRunEncoding(t *testing.T) {
+	ts, _ := newTestServer(t, &Server{Lab: lab.New()})
+	body, _ := json.Marshal(RunRequest{Schema: APISchema, Spec: cheapSpec()})
+
+	post := func(accept string) *http.Response {
+		req, _ := http.NewRequest(http.MethodPost, ts.URL+"/v1/run", bytes.NewReader(body))
+		req.Header.Set("Content-Type", "application/json")
+		if accept != "" {
+			req.Header.Set("Accept", accept)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { resp.Body.Close() })
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("Accept %q: status %d", accept, resp.StatusCode)
+		}
+		return resp
+	}
+
+	jsonResp := post("")
+	if ct := jsonResp.Header.Get("Content-Type"); !isContentType(ct, "application/json") {
+		t.Fatalf("no Accept: content type %q, want JSON", ct)
+	}
+	var viaJSON RunResponse
+	if err := json.NewDecoder(jsonResp.Body).Decode(&viaJSON); err != nil {
+		t.Fatal(err)
+	}
+
+	binResp := post(BinaryContentType + ", application/json")
+	if ct := binResp.Header.Get("Content-Type"); !isContentType(ct, BinaryContentType) {
+		t.Fatalf("binary Accept: content type %q, want %q", ct, BinaryContentType)
+	}
+	data := new(bytes.Buffer)
+	if _, err := data.ReadFrom(binResp.Body); err != nil {
+		t.Fatal(err)
+	}
+	var viaBin RunResponse
+	if err := decodeRunResponse(data.Bytes(), &viaBin); err != nil {
+		t.Fatal(err)
+	}
+
+	a, _ := json.Marshal(viaJSON)
+	b, _ := json.Marshal(viaBin)
+	if !bytes.Equal(a, b) {
+		t.Errorf("binary and JSON answers differ:\njson:   %s\nbinary: %s", a, b)
+	}
+}
+
+// TestServerStreamsCampaign: a streaming campaign merges byte-identical
+// to the buffered JSON response for the same batch, and really uses the
+// stream content type.
+func TestServerStreamsCampaign(t *testing.T) {
+	specs := []lab.Spec{cheapSpec()}
+	for _, scale := range []float64{0.01, 0.015} {
+		s := cheapSpec()
+		s.Scale = scale
+		specs = append(specs, s)
+	}
+	l := lab.New()
+	l.Backend = scriptedBackend(nil, 0.015) // scale 0.015 fails per-item
+	ts, cl := newTestServer(t, &Server{Lab: l})
+
+	var streamed atomic.Int32
+	viaStream, err := cl.CampaignStream(context.Background(), specs, func(int, CampaignItem) {
+		streamed.Add(1)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := streamed.Load(); got != int32(len(specs)) {
+		t.Errorf("onItem fired %d times, want %d", got, len(specs))
+	}
+
+	// The raw JSON path, bypassing client negotiation.
+	body, _ := json.Marshal(CampaignRequest{Schema: APISchema, Specs: specs})
+	resp, err := http.Post(ts.URL+"/v1/campaign", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !isContentType(ct, "application/json") {
+		t.Fatalf("plain POST got content type %q", ct)
+	}
+	var viaJSON CampaignResponse
+	if err := json.NewDecoder(resp.Body).Decode(&viaJSON); err != nil {
+		t.Fatal(err)
+	}
+
+	a, _ := json.Marshal(viaStream)
+	b, _ := json.Marshal(viaJSON.Items)
+	if !bytes.Equal(a, b) {
+		t.Errorf("streamed merge differs from buffered JSON:\nstream: %s\njson:   %s", a, b)
+	}
+}
+
+// TestClientFallsBackToJSONServer: a server that has never heard of
+// the binary wire (it ignores Accept and answers JSON) still works
+// through the negotiating client, for runs and campaigns alike.
+func TestClientFallsBackToJSONServer(t *testing.T) {
+	res := wireResult(11)
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/run", func(w http.ResponseWriter, r *http.Request) {
+		var req RunRequest
+		json.NewDecoder(r.Body).Decode(&req) //nolint:errcheck
+		WriteJSON(w, http.StatusOK, RunResponse{Key: req.Spec.Key(), Result: res})
+	})
+	mux.HandleFunc("POST /v1/campaign", func(w http.ResponseWriter, r *http.Request) {
+		var req CampaignRequest
+		json.NewDecoder(r.Body).Decode(&req) //nolint:errcheck
+		items := make([]CampaignItem, len(req.Specs))
+		for i := range req.Specs {
+			items[i] = CampaignItem{Key: req.Specs[i].Key(), Result: res}
+		}
+		WriteJSON(w, http.StatusOK, CampaignResponse{Items: items})
+	})
+	ts := httptest.NewServer(mux)
+	defer ts.Close()
+	cl := &Client{Base: ts.URL}
+
+	if _, err := cl.Run(context.Background(), cheapSpec()); err != nil {
+		t.Fatalf("Run against JSON-only server: %v", err)
+	}
+	var delivered int
+	items, err := cl.CampaignStream(context.Background(), []lab.Spec{cheapSpec(), cheapSpec()},
+		func(int, CampaignItem) { delivered++ })
+	if err != nil {
+		t.Fatalf("Campaign against JSON-only server: %v", err)
+	}
+	if len(items) != 2 || delivered != 2 {
+		t.Errorf("got %d items, %d onItem calls, want 2 and 2", len(items), delivered)
+	}
+}
+
+// TestClientRetriesCutStream: a server that dies mid-stream on its
+// first attempt must read as a retryable transport failure, and the
+// retry must deliver the full campaign.
+func TestClientRetriesCutStream(t *testing.T) {
+	item := CampaignItem{Key: cheapSpec().Key(), Result: wireResult(5)}
+	var calls atomic.Int32
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/campaign", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", StreamContentType)
+		w.WriteHeader(http.StatusOK)
+		if calls.Add(1) == 1 {
+			// One item of two, then die without the terminal frame.
+			w.Write(appendStreamItemFrame(nil, 0, &item)) //nolint:errcheck
+			panic(http.ErrAbortHandler)
+		}
+		var out []byte
+		out = appendStreamItemFrame(out, 0, &item)
+		out = appendStreamItemFrame(out, 1, &item)
+		out = appendStreamEndFrame(out, 2)
+		w.Write(out) //nolint:errcheck
+	})
+	ts := httptest.NewServer(mux)
+	defer ts.Close()
+	cl := &Client{Base: ts.URL, Backoff: time.Millisecond, MaxBackoff: 5 * time.Millisecond}
+
+	items, err := cl.Campaign(context.Background(), []lab.Spec{cheapSpec(), cheapSpec()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(items) != 2 {
+		t.Fatalf("got %d items, want 2", len(items))
+	}
+	if calls.Load() != 2 {
+		t.Errorf("server saw %d attempts, want 2 (one cut, one retry)", calls.Load())
+	}
+}
+
+// TestClientReusesConnections counts TCP dials under a burst of
+// sequential requests across every endpoint. Before the body-drain
+// fix, json.Decoder left the encoder's trailing newline unread, the
+// transport refused to pool the connection, and every request dialed
+// fresh; now one connection must serve them all.
+func TestClientReusesConnections(t *testing.T) {
+	l := lab.New()
+	l.Backend = scriptedBackend(nil, 0)
+	ts, cl := newTestServer(t, &Server{Lab: l})
+
+	var dials atomic.Int32
+	base := &net.Dialer{}
+	cl.HTTP = &http.Client{
+		Transport: &http.Transport{
+			DialContext: func(ctx context.Context, network, addr string) (net.Conn, error) {
+				dials.Add(1)
+				return base.DialContext(ctx, network, addr)
+			},
+		},
+	}
+
+	ctx := context.Background()
+	spec := cheapSpec()
+	for i := 0; i < 5; i++ {
+		spec.Scale = 0.01 * float64(i+1)
+		if _, err := cl.Run(ctx, spec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := cl.Campaign(ctx, []lab.Spec{cheapSpec()}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.Health(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.Metrics(ctx); err != nil {
+		t.Fatal(err)
+	}
+	_ = ts
+	if got := dials.Load(); got != 1 {
+		t.Errorf("%d dials for 8 sequential requests, want 1 (keep-alive broken)", got)
+	}
+}

@@ -104,16 +104,39 @@ func (c *Client) Run(ctx context.Context, spec lab.Spec) (*cpu.Result, error) {
 // order. Per-item failures are reported inside the items; the error
 // return covers transport- and batch-level failures only.
 func (c *Client) Campaign(ctx context.Context, specs []lab.Spec) ([]CampaignItem, error) {
+	return c.CampaignStream(ctx, specs, nil)
+}
+
+// CampaignStream is Campaign with incremental delivery: onItem, when
+// non-nil, is invoked with (request index, item) as results arrive —
+// per completed simulation against a streaming server, or once per
+// item after the full response decodes against a JSON-only one. The
+// returned slice is the authoritative request-ordered result either
+// way.
+//
+// onItem may run more than once for an index: a retried attempt (say,
+// a stream cut mid-campaign) re-delivers everything it receives. Items
+// are pure functions of their specs, so re-deliveries carry equal
+// values; callers that act on first delivery (a hedging coordinator
+// claiming the race) must simply be idempotent. onItem is called
+// sequentially from the decoding goroutine and should not block.
+func (c *Client) CampaignStream(ctx context.Context, specs []lab.Spec, onItem func(i int, item CampaignItem)) ([]CampaignItem, error) {
 	c.init()
 	req := CampaignRequest{Schema: APISchema, Specs: specs, TimeoutMs: timeoutMs(ctx)}
-	var resp CampaignResponse
-	if err := c.do(ctx, "/v1/campaign", req, &resp); err != nil {
+	sink := &campaignSink{n: len(specs), onItem: onItem}
+	if err := c.do(ctx, "/v1/campaign", req, sink); err != nil {
 		return nil, err
 	}
-	if len(resp.Items) != len(specs) {
-		return nil, fmt.Errorf("serve: campaign answered %d items for %d specs", len(resp.Items), len(specs))
-	}
-	return resp.Items, nil
+	return sink.items, nil
+}
+
+// campaignSink is the decode target for /v1/campaign: it negotiates
+// the stream wire and accepts either encoding, whichever the server
+// speaks.
+type campaignSink struct {
+	n      int
+	onItem func(i int, item CampaignItem)
+	items  []CampaignItem
 }
 
 // Health fetches /healthz. A draining server answers 503 with a valid
@@ -216,13 +239,16 @@ func (c *Client) attempt(ctx context.Context, path string, body []byte, out any)
 		return false, fmt.Errorf("serve: build request: %w", err)
 	}
 	req.Header.Set("Content-Type", "application/json")
+	if accept := acceptFor(out); accept != "" {
+		req.Header.Set("Accept", accept)
+	}
 	resp, err := c.HTTP.Do(req)
 	if err != nil {
 		// Transport-level failure (connection refused, reset, dropped
 		// mid-response): retryable by definition.
 		return true, fmt.Errorf("serve: %s: %w", path, err)
 	}
-	defer resp.Body.Close()
+	defer drainClose(resp.Body)
 	if resp.StatusCode != http.StatusOK {
 		se := &StatusError{Status: resp.StatusCode, Msg: readErrBody(resp.Body)}
 		if secs, aerr := strconv.Atoi(resp.Header.Get("Retry-After")); aerr == nil && secs > 0 {
@@ -230,10 +256,82 @@ func (c *Client) attempt(ctx context.Context, path string, body []byte, out any)
 		}
 		return resp.StatusCode == http.StatusTooManyRequests || resp.StatusCode >= 500, se
 	}
+	return c.decodeResponse(resp, out)
+}
+
+// decodeResponse parses a 200 body into out, dispatching on the
+// response content type the server chose during negotiation. Malformed
+// bodies of either encoding are retryable — a garbled response means
+// the exchange died, not that the request was wrong.
+func (c *Client) decodeResponse(resp *http.Response, out any) (retryable bool, err error) {
+	ct := resp.Header.Get("Content-Type")
+	switch o := out.(type) {
+	case *RunResponse:
+		if isContentType(ct, BinaryContentType) {
+			data, err := io.ReadAll(resp.Body)
+			if err != nil {
+				return true, fmt.Errorf("serve: read binary response: %w", err)
+			}
+			if err := decodeRunResponse(data, o); err != nil {
+				return true, err
+			}
+			return false, nil
+		}
+	case *campaignSink:
+		if isContentType(ct, StreamContentType) {
+			items, err := readCampaignStream(resp.Body, o.n, o.onItem)
+			if err != nil {
+				return true, err
+			}
+			o.items = items
+			return false, nil
+		}
+		var cr CampaignResponse
+		if err := json.NewDecoder(resp.Body).Decode(&cr); err != nil {
+			return true, fmt.Errorf("serve: decode response: %w", err)
+		}
+		if len(cr.Items) != o.n {
+			return false, fmt.Errorf("serve: campaign answered %d items for %d specs", len(cr.Items), o.n)
+		}
+		o.items = cr.Items
+		if o.onItem != nil {
+			for i, item := range cr.Items {
+				o.onItem(i, item)
+			}
+		}
+		return false, nil
+	}
 	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
 		return true, fmt.Errorf("serve: decode response: %w", err)
 	}
 	return false, nil
+}
+
+// acceptFor is the Accept header offered for a decode target: the
+// binary alternative first, JSON as the always-acceptable fallback, so
+// old servers (which never look at Accept) keep answering JSON and the
+// exchange works across any version skew.
+func acceptFor(out any) string {
+	switch out.(type) {
+	case *RunResponse:
+		return BinaryContentType + ", application/json"
+	case *campaignSink:
+		return StreamContentType + ", application/json"
+	}
+	return ""
+}
+
+// drainClose reads a response body to EOF (bounded) before closing it.
+// json.Decoder stops at the end of the JSON value, which leaves at
+// least the encoder's trailing newline unread — and net/http only
+// returns a connection to the keep-alive pool once the body has been
+// read to EOF, so closing without draining silently dialed a fresh
+// connection per request (TestClientReusesConnections counts dials).
+// The drain is bounded: a response with an absurd tail is cheaper to
+// abandon than to swallow, at the cost of that one connection.
+func drainClose(body io.ReadCloser) {
+	io.Copy(io.Discard, io.LimitReader(body, 256<<10)) //nolint:errcheck // best-effort; worst case the conn is not reused
+	body.Close()
 }
 
 // get performs one GET without retries (health and metrics probes are
@@ -248,7 +346,7 @@ func (c *Client) get(ctx context.Context, path string, out any) error {
 	if err != nil {
 		return fmt.Errorf("serve: %s: %w", path, err)
 	}
-	defer resp.Body.Close()
+	defer drainClose(resp.Body)
 	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
 		return fmt.Errorf("serve: decode %s: %w", path, err)
 	}

@@ -191,8 +191,10 @@ func (s *Server) admit(n int) (release func(), status int) {
 	}, 0
 }
 
-// execute runs one spec through the worker pool under ctx.
-func (s *Server) execute(ctx context.Context, spec lab.Spec) (*cpu.Result, error) {
+// execute runs one keyed spec through the worker pool under ctx. The
+// caller computes the Keyed form once per request item; every memo and
+// store probe downstream reuses it.
+func (s *Server) execute(ctx context.Context, k lab.Keyed) (*cpu.Result, error) {
 	select {
 	case s.slots <- struct{}{}:
 	case <-ctx.Done():
@@ -200,7 +202,7 @@ func (s *Server) execute(ctx context.Context, spec lab.Spec) (*cpu.Result, error
 	}
 	defer func() { <-s.slots }()
 	t0 := time.Now()
-	res, err := s.Lab.ResultContext(ctx, spec)
+	res, err := s.Lab.ResultKeyed(ctx, k)
 	if err == nil {
 		s.mu.Lock()
 		for b, n := range res.Acct.Buckets {
@@ -285,12 +287,28 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	}
 	ctx, cancel := context.WithTimeout(r.Context(), s.timeout(req.TimeoutMs))
 	defer cancel()
-	res, err := s.execute(ctx, req.Spec)
+	k := req.Spec.Keyed()
+	res, err := s.execute(ctx, k)
 	if err != nil {
 		s.reject(w, runErrStatus(err), err.Error())
 		return
 	}
-	s.writeJSON(w, http.StatusOK, RunResponse{Key: req.Spec.Key(), Result: res})
+	if acceptsType(r, BinaryContentType) {
+		s.writeBinary(w, BinaryContentType, appendRunResponse(nil, k.Key, res))
+		return
+	}
+	s.writeJSON(w, http.StatusOK, RunResponse{Key: k.Key, Result: res})
+}
+
+// writeBinary writes a 200 with a negotiated binary body. Only success
+// bodies are ever binary — every rejection stays JSON so clients never
+// sniff an error.
+func (s *Server) writeBinary(w http.ResponseWriter, contentType string, body []byte) {
+	s.countResp(http.StatusOK)
+	w.Header().Set("Content-Type", contentType)
+	w.Header().Set("X-Content-Type-Options", "nosniff")
+	w.WriteHeader(http.StatusOK)
+	w.Write(body) //nolint:errcheck // nothing to do about a dead client
 }
 
 func (s *Server) handleCampaign(w http.ResponseWriter, r *http.Request) {
@@ -303,11 +321,13 @@ func (s *Server) handleCampaign(w http.ResponseWriter, r *http.Request) {
 		s.reject(w, http.StatusBadRequest, "serve: empty campaign")
 		return
 	}
+	keyed := make([]lab.Keyed, len(req.Specs))
 	for i, spec := range req.Specs {
 		if err := spec.Validate(); err != nil {
 			s.reject(w, http.StatusBadRequest, fmt.Sprintf("spec %d: %v", i, err))
 			return
 		}
+		keyed[i] = spec.Keyed()
 	}
 	release, status := s.admit(len(req.Specs))
 	if status != 0 {
@@ -321,23 +341,79 @@ func (s *Server) handleCampaign(w http.ResponseWriter, r *http.Request) {
 	ctx, cancel := context.WithTimeout(r.Context(), s.timeout(req.TimeoutMs))
 	defer cancel()
 
-	items := make([]CampaignItem, len(req.Specs))
+	// Everything that can reject the whole batch — bad specs, a full
+	// queue, drain, an injected fault — has happened above, so a
+	// streaming client is past the point where a status code could
+	// change. From here every item completes (possibly with a per-item
+	// error), and the only remaining batch-level failure is the
+	// connection itself dying.
+	if acceptsType(r, StreamContentType) {
+		s.streamCampaign(w, ctx, keyed)
+		return
+	}
+
+	items := make([]CampaignItem, len(keyed))
 	var wg sync.WaitGroup
-	for i, spec := range req.Specs {
+	for i, k := range keyed {
 		wg.Add(1)
-		go func(i int, spec lab.Spec) {
+		go func(i int, k lab.Keyed) {
 			defer wg.Done()
-			items[i].Key = spec.Key()
-			res, err := s.execute(ctx, spec)
+			items[i].Key = k.Key
+			res, err := s.execute(ctx, k)
 			if err != nil {
 				items[i].Err = err.Error()
 				return
 			}
 			items[i].Result = res
-		}(i, spec)
+		}(i, k)
 	}
 	wg.Wait()
 	s.writeJSON(w, http.StatusOK, CampaignResponse{Items: items})
+}
+
+// streamCampaign answers a campaign with the negotiated stream wire:
+// one length-prefixed item frame per simulation, written (and flushed)
+// the moment that item completes, in completion order, then the
+// terminal count frame. The client reassembles request order from the
+// frame indices, so the merged response is byte-identical to the
+// buffered JSON path; what changes is latency — the first result
+// reaches the client while the slowest is still simulating, which is
+// also what lets a hedging coordinator cancel the losing replica as
+// soon as the winner's first frame lands.
+func (s *Server) streamCampaign(w http.ResponseWriter, ctx context.Context, keyed []lab.Keyed) {
+	s.countResp(http.StatusOK)
+	w.Header().Set("Content-Type", StreamContentType)
+	w.Header().Set("X-Content-Type-Options", "nosniff")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+
+	var (
+		wmu sync.Mutex // serializes frame writes; frames are atomic on the wire
+		buf []byte     // frame scratch, reused across items under wmu
+	)
+	var wg sync.WaitGroup
+	for i, k := range keyed {
+		wg.Add(1)
+		go func(i int, k lab.Keyed) {
+			defer wg.Done()
+			item := CampaignItem{Key: k.Key}
+			res, err := s.execute(ctx, k)
+			if err != nil {
+				item.Err = err.Error()
+			} else {
+				item.Result = res
+			}
+			wmu.Lock()
+			buf = appendStreamItemFrame(buf[:0], i, &item)
+			w.Write(buf) //nolint:errcheck // a dead client surfaces as stream-cut on its side
+			if flusher != nil {
+				flusher.Flush()
+			}
+			wmu.Unlock()
+		}(i, k)
+	}
+	wg.Wait()
+	w.Write(appendStreamEndFrame(nil, len(keyed))) //nolint:errcheck // see above
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {

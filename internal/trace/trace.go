@@ -45,7 +45,7 @@ func FromStep(s emu.Step) Event {
 		Taken:     s.Taken,
 		Halt:      s.Halted,
 	}
-	if s.Inst.IsMem() {
+	if s.Inst != nil && s.Inst.IsMem() {
 		e.IsMem = true
 		e.IsStore = s.Inst.Op == isa.OpStore
 		if s.GuardTrue {
