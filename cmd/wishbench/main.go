@@ -32,6 +32,7 @@ import (
 	"time"
 
 	"wishbranch/internal/exp"
+	"wishbranch/internal/journal"
 	"wishbranch/internal/lab"
 	"wishbranch/internal/obs"
 	"wishbranch/internal/serve"
@@ -44,6 +45,7 @@ func main() {
 		scale    = flag.Float64("scale", 1.0, "workload size multiplier (1.0 = reduced-input default)")
 		workers  = flag.Int("j", runtime.NumCPU(), "max concurrent simulations")
 		cacheDir = flag.String("cache-dir", lab.DefaultDir(), "persistent result store directory (empty = disabled)")
+		jdir     = flag.String("journal", "", "campaign journal directory: crash-safe checkpoint/resume (empty = off)")
 		server   = flag.String("server", "", "wishsimd base URL; simulations run remotely (local store disabled)")
 		verbose  = flag.Bool("v", false, "log each simulation to stderr")
 		statsOut = flag.String("stats-out", "", "write every campaign run's stats snapshot as a JSON array to this file")
@@ -134,6 +136,45 @@ func main() {
 			specs = append(specs, e.Runs(l)...)
 		}
 	}
+
+	// Crash-safe checkpoint/resume: the campaign's ordered unique key
+	// set identifies its journal file; replayed results seed the memo
+	// table so a killed campaign resumes with only its missing suffix
+	// re-simulated, and every new result is journaled (fsync'd) before
+	// it becomes observable. Output stays byte-identical to an
+	// uninterrupted run because rendering reads the same memo table
+	// either way.
+	var jnl *journal.Journal
+	if *jdir != "" {
+		seen := make(map[string]bool, len(specs))
+		var keys []string
+		for _, s := range specs {
+			k := s.Key()
+			if !seen[k] {
+				seen[k] = true
+				keys = append(keys, k)
+			}
+		}
+		jpath := journal.CampaignPath(*jdir, keys)
+		j, rep, err := journal.Open(jpath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "wishbench: %v\n", err)
+			os.Exit(1)
+		}
+		jnl = j
+		if rep.Specs == nil {
+			if err := j.AppendSpecSet(keys); err != nil {
+				fmt.Fprintf(os.Stderr, "wishbench: %v\n", err)
+				os.Exit(1)
+			}
+		}
+		resumed := journal.Attach(l.Sched, j, rep, keys, func(err error) {
+			fmt.Fprintf(os.Stderr, "wishbench: %v (campaign continues, not resumable past this point)\n", err)
+		})
+		fmt.Fprintf(os.Stderr, "wishbench: journal %s: resumed_frames=%d missing=%d\n",
+			jpath, resumed, len(keys)-resumed)
+	}
+
 	l.Warm(specs)
 
 	for _, e := range exps {
@@ -150,6 +191,11 @@ func main() {
 	}
 	fmt.Fprintf(os.Stderr, "wishbench: campaign done in %v: %s\n",
 		time.Since(campaignStart).Round(time.Millisecond), l.Sched.Summary())
+	if jnl != nil {
+		frames, resumed := jnl.Stats()
+		fmt.Fprintf(os.Stderr, "wishbench: journal complete: frames=%d resumed_frames=%d\n", frames, resumed)
+		jnl.Close()
+	}
 
 	if *statsOut != "" {
 		if err := dumpSnapshots(*statsOut, l, specs); err != nil {

@@ -12,6 +12,16 @@
 //	wishsimd -cache-dir ""                  # memory-only (memo table still shared)
 //	wishsimd -drain-timeout 2m              # SIGTERM drain budget
 //	wishsimd -fault error:3                 # deterministic fault injection (tests/CI)
+//	wishsimd -journal /data/wishjournal     # crash-safe result log, replayed on startup
+//	wishsimd -store-max-bytes 1073741824    # bound the store: LRU eviction at 1 GiB
+//
+// With -journal, every completed result is appended (fsync'd) to a
+// write-ahead journal before any client sees it, and a restarted
+// daemon replays the journal into its memo table and store — a SIGKILL
+// loses nothing it acknowledged. With -store-max-bytes, the store
+// evicts least-recently-accessed records past the bound; records
+// referenced by the open journal are pinned and never evicted
+// (/metrics gains store_bytes and evictions).
 //
 // Cluster mode: the same binary fronts a fleet of workers as a
 // coordinator speaking the identical wire API, so `wishbench -server`
@@ -50,12 +60,15 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"runtime"
 	"strings"
 	"syscall"
 	"time"
 
 	"wishbranch/internal/cluster"
+	"wishbranch/internal/cpu"
+	"wishbranch/internal/journal"
 	"wishbranch/internal/lab"
 	"wishbranch/internal/serve"
 )
@@ -70,6 +83,8 @@ func run() int {
 		workers      = flag.Int("j", runtime.NumCPU(), "max concurrent simulations")
 		queue        = flag.Int("queue", serve.DefaultQueueDepth, "admitted-but-waiting request bound beyond -j (0 = none)")
 		cacheDir     = flag.String("cache-dir", lab.DefaultDir(), "persistent result store directory (empty = disabled)")
+		storeMax     = flag.Int64("store-max-bytes", 0, "result store size bound with LRU-by-access eviction (0 = unbounded)")
+		journalDir   = flag.String("journal", "", "journal directory: crash-safe result log, replayed on startup (empty = off)")
 		maxTimeout   = flag.Duration("max-timeout", serve.DefaultMaxTimeout, "ceiling (and default) for per-request deadlines")
 		drainTimeout = flag.Duration("drain-timeout", 2*time.Minute, "how long SIGTERM waits for in-flight runs")
 		faultSpec    = flag.String("fault", "", `deterministic fault injection: "error:N", "drop:N", or "delay:N:dur"`)
@@ -92,6 +107,7 @@ func run() int {
 			replicas:      *replicas,
 			maxTimeout:    *maxTimeout,
 			drainTimeout:  *drainTimeout,
+			journalDir:    *journalDir,
 			verbose:       *verbose,
 		})
 	}
@@ -114,7 +130,49 @@ func run() int {
 		} else {
 			sched.Store = store
 			fmt.Fprintf(os.Stderr, "wishsimd: result store at %s\n", store.Dir())
+			if *storeMax > 0 {
+				if err := store.SetMaxBytes(*storeMax); err != nil {
+					fmt.Fprintf(os.Stderr, "wishsimd: %v (store stays unbounded)\n", err)
+				} else {
+					fmt.Fprintf(os.Stderr, "wishsimd: store bounded at %d bytes (currently %d)\n",
+						*storeMax, store.Bytes())
+				}
+			}
 		}
+	}
+
+	// Crash safety: replay the journal into the memo table (and store),
+	// pin every journaled key against GC eviction, and journal every
+	// result acquired from here on — a SIGKILL'd daemon restarts with
+	// everything it had acknowledged.
+	var jnl *journal.Journal
+	if *journalDir != "" {
+		jpath := filepath.Join(*journalDir, "server.wbj")
+		j, rep, err := journal.Open(jpath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "wishsimd: %v\n", err)
+			return 1
+		}
+		jnl = j
+		for key, res := range rep.Results {
+			sched.Seed(key, res)
+			if sched.Store != nil {
+				sched.Store.Pin(key) // journal-referenced: never evicted
+				if sched.Store.Get(key) == nil {
+					sched.Store.Put(key, res) //nolint:errcheck // memo already has it
+				}
+			}
+		}
+		sched.OnResult = func(k lab.Keyed, r *cpu.Result) {
+			if err := j.Append(k.Key, r); err != nil {
+				fmt.Fprintf(os.Stderr, "wishsimd: %v\n", err)
+				return
+			}
+			if sched.Store != nil {
+				sched.Store.Pin(k.Key)
+			}
+		}
+		fmt.Fprintf(os.Stderr, "wishsimd: journal %s: resumed_frames=%d\n", jpath, len(rep.Results))
 	}
 
 	srv := &serve.Server{
@@ -122,6 +180,9 @@ func run() int {
 		Workers:    *workers,
 		MaxTimeout: *maxTimeout,
 		Fault:      fault,
+	}
+	if jnl != nil {
+		srv.JournalStats = jnl.Stats
 	}
 	if *queue <= 0 {
 		srv.QueueDepth = -1
@@ -176,6 +237,7 @@ type coordinatorConfig struct {
 	replicas      int
 	maxTimeout    time.Duration
 	drainTimeout  time.Duration
+	journalDir    string
 	verbose       bool
 }
 
@@ -205,6 +267,24 @@ func runCoordinator(cfg coordinatorConfig) int {
 	if cfg.verbose {
 		reg.Log = os.Stderr
 		co.Log = os.Stderr
+	}
+	// Merge-progress checkpointing: every merged result is journaled
+	// before the response carries it, and a restarted coordinator
+	// re-dispatches only the unfinished remainder of a re-submitted
+	// campaign.
+	if cfg.journalDir != "" {
+		jpath := filepath.Join(cfg.journalDir, "coordinator.wbj")
+		j, rep, err := journal.Open(jpath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "wishsimd: %v\n", err)
+			return 1
+		}
+		defer j.Close()
+		co.Journal = j
+		for key, res := range rep.Results {
+			co.SeedCheckpoint(key, res)
+		}
+		fmt.Fprintf(os.Stderr, "wishsimd: journal %s: resumed_frames=%d\n", jpath, len(rep.Results))
 	}
 	reg.Start()
 	defer reg.Stop()

@@ -48,6 +48,7 @@ import (
 	"time"
 
 	"wishbranch/internal/cpu"
+	"wishbranch/internal/journal"
 	"wishbranch/internal/lab"
 	"wishbranch/internal/serve"
 )
@@ -86,6 +87,14 @@ type Coordinator struct {
 	// Log, when non-nil, receives one line per reroute, hedge, and
 	// rejection.
 	Log io.Writer
+	// Journal, when non-nil, checkpoints merge progress: every result
+	// merged from a worker is journaled (fsync'd) before the response
+	// carries it, and a restarted coordinator seeded from the replayed
+	// journal (SeedCheckpoint) answers those items from the checkpoint
+	// and re-dispatches only the unfinished remainder of a re-submitted
+	// campaign. Results being pure functions of their keys is what makes
+	// a checkpointed answer indistinguishable from a re-dispatched one.
+	Journal *journal.Journal
 
 	once     sync.Once
 	started  time.Time
@@ -93,6 +102,10 @@ type Coordinator struct {
 	inflight sync.WaitGroup
 	hedges   atomic.Uint64
 	reroutes atomic.Uint64
+	ckptHits atomic.Uint64
+
+	ckptMu sync.Mutex
+	ckpt   map[string]*cpu.Result
 
 	mu    sync.Mutex
 	reqs  map[string]uint64
@@ -116,7 +129,43 @@ func (co *Coordinator) init() {
 		co.started = time.Now()
 		co.reqs = make(map[string]uint64)
 		co.resps = make(map[string]uint64)
+		co.ckpt = make(map[string]*cpu.Result)
 	})
+}
+
+// SeedCheckpoint pre-populates the merge checkpoint with a result
+// replayed from the coordinator's journal. Call before serving.
+func (co *Coordinator) SeedCheckpoint(key string, r *cpu.Result) {
+	co.init()
+	co.ckptMu.Lock()
+	co.ckpt[key] = r
+	co.ckptMu.Unlock()
+}
+
+// checkpointGet returns the checkpointed result for key, nil when the
+// coordinator runs without a journal or has not merged key yet.
+func (co *Coordinator) checkpointGet(key string) *cpu.Result {
+	if co.Journal == nil {
+		return nil
+	}
+	co.ckptMu.Lock()
+	defer co.ckptMu.Unlock()
+	return co.ckpt[key]
+}
+
+// checkpointPut journals a freshly merged result and adds it to the
+// in-memory checkpoint. Journal failures are logged, not fatal — the
+// campaign still completes, it just stops being resumable from here.
+func (co *Coordinator) checkpointPut(key string, r *cpu.Result) {
+	if co.Journal == nil {
+		return
+	}
+	if err := co.Journal.Append(key, r); err != nil {
+		co.logf("cluster: checkpoint: %v", err)
+	}
+	co.ckptMu.Lock()
+	co.ckpt[key] = r
+	co.ckptMu.Unlock()
 }
 
 func (co *Coordinator) retries() int {
@@ -203,6 +252,11 @@ func (co *Coordinator) handleRun(w http.ResponseWriter, r *http.Request) {
 	defer cancel()
 
 	k := req.Spec.Keyed()
+	if res := co.checkpointGet(k.Key); res != nil {
+		co.ckptHits.Add(1)
+		co.writeJSON(w, http.StatusOK, serve.RunResponse{Key: k.Key, Result: res})
+		return
+	}
 	v, err := co.route(ctx, k.Key, func(ctx context.Context, wk *Worker, _ func()) (any, error) {
 		res, rerr := wk.Client.Run(ctx, req.Spec)
 		if rerr != nil {
@@ -214,7 +268,9 @@ func (co *Coordinator) handleRun(w http.ResponseWriter, r *http.Request) {
 		co.rejectErr(w, err)
 		return
 	}
-	co.writeJSON(w, http.StatusOK, serve.RunResponse{Key: k.Key, Result: v.(*cpu.Result)})
+	res := v.(*cpu.Result)
+	co.checkpointPut(k.Key, res)
+	co.writeJSON(w, http.StatusOK, serve.RunResponse{Key: k.Key, Result: res})
 }
 
 func (co *Coordinator) handleCampaign(w http.ResponseWriter, r *http.Request) {
@@ -274,12 +330,33 @@ func (co *Coordinator) campaign(ctx context.Context, specs []lab.Spec) ([]serve.
 		items[i].Key = keyed[i].Key
 	}
 
+	// Checkpointed items answer from the merge journal without touching
+	// a worker: after a coordinator restart, a re-submitted campaign
+	// re-dispatches only its unfinished suffix.
+	done := make([]bool, len(specs))
+	remaining := 0
+	for i := range keyed {
+		if res := co.checkpointGet(keyed[i].Key); res != nil {
+			items[i].Result = res
+			done[i] = true
+			co.ckptHits.Add(1)
+		} else {
+			remaining++
+		}
+	}
+	if remaining == 0 {
+		return items, nil
+	}
+
 	ring := co.Registry.Ring()
 	if ring.Empty() {
 		return nil, ErrNoWorkers
 	}
 	shards := make(map[*Worker][]int)
 	for i := range keyed {
+		if done[i] {
+			continue
+		}
 		home := ring.Lookup(keyed[i].Key, 1)[0]
 		shards[home] = append(shards[home], i)
 	}
@@ -332,6 +409,9 @@ func (co *Coordinator) campaign(ctx context.Context, specs []lab.Spec) ([]serve.
 					continue
 				}
 				items[idx] = got[j]
+				if got[j].Result != nil && got[j].Err == "" {
+					co.checkpointPut(keyed[idx].Key, got[j].Result)
+				}
 			}
 		}(idxs)
 	}
@@ -375,10 +455,15 @@ func (co *Coordinator) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		Replicas:     co.Registry.Replicas,
 		LiveWorkers:  len(co.Registry.Live()),
 		TotalWorkers: len(workers),
-		Reroutes:     co.reroutes.Load(),
-		Hedges:       co.hedges.Load(),
-		Requests:     make(map[string]uint64),
-		Responses:    make(map[string]uint64),
+		Reroutes:       co.reroutes.Load(),
+		Hedges:         co.hedges.Load(),
+		CheckpointHits: co.ckptHits.Load(),
+		Requests:       make(map[string]uint64),
+		Responses:      make(map[string]uint64),
+	}
+	if co.Journal != nil {
+		frames, resumed := co.Journal.Stats()
+		m.Journal = &serve.JournalMetrics{Frames: frames, Resumed: resumed}
 	}
 	if m.Replicas == 0 {
 		m.Replicas = DefaultReplicas

@@ -4,6 +4,8 @@ package cluster
 // verbatim — that is what makes it a drop-in for a single wishsimd.
 // Only /healthz and /metrics have cluster-shaped bodies, defined here.
 
+import "wishbranch/internal/serve"
+
 // Health is the coordinator's /healthz body. Status is "ok" (HTTP 200,
 // at least one live worker), "degraded" (HTTP 503, no live workers —
 // requests would be shed), or "draining" (HTTP 503).
@@ -48,9 +50,16 @@ type Metrics struct {
 	// a failure or a busy worker), Hedges counts hedge launches.
 	Reroutes uint64 `json:"reroutes"`
 	Hedges   uint64 `json:"hedges"`
+	// CheckpointHits counts request items answered from the merge
+	// checkpoint (the coordinator journal) instead of a worker.
+	CheckpointHits uint64 `json:"checkpoint_hits"`
 
 	Requests  map[string]uint64 `json:"requests"`
 	Responses map[string]uint64 `json:"responses"`
+
+	// Journal is present when the coordinator checkpoints to a journal
+	// (same shape as a worker's journal section).
+	Journal *serve.JournalMetrics `json:"journal,omitempty"`
 
 	Workers []WorkerStatus `json:"workers"`
 }

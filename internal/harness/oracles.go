@@ -19,6 +19,10 @@ package harness
 //     results, re-encoding is byte-stable, and the frame is exactly
 //     self-delimiting (differential JSON↔binary check over real
 //     simulator output, not hand-built fixtures).
+//   - resume (resume.go): a campaign journal cut at a seed-derived byte
+//     offset recovers its longest valid prefix and resumes to a
+//     byte-identical journal — the crash-safety contract of
+//     checkpoint/resume.
 
 import (
 	"context"
@@ -372,8 +376,10 @@ func OracleByName(name string) (Oracle, error) {
 		return &CodecOracle{}, nil
 	case "cluster":
 		return &ClusterOracle{}, nil
+	case "resume":
+		return &ResumeOracle{}, nil
 	default:
-		return nil, fmt.Errorf("harness: unknown oracle %q (have arch, timing, cache, codec, cluster)", name)
+		return nil, fmt.Errorf("harness: unknown oracle %q (have arch, timing, cache, codec, cluster, resume)", name)
 	}
 }
 
@@ -386,5 +392,6 @@ func DefaultOracles(killSwitch bool) []Oracle {
 		&CacheOracle{},
 		&CodecOracle{},
 		&ClusterOracle{},
+		&ResumeOracle{},
 	}
 }

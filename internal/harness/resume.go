@@ -1,0 +1,182 @@
+package harness
+
+// The resume oracle: crash/resume byte identity of the campaign
+// journal (internal/journal, DESIGN.md §15). For a generated program
+// it runs all variants, journals the results, cuts the journal at a
+// seed-derived byte offset — simulating a SIGKILL mid-append — and
+// checks that recovery replays exactly the longest valid prefix, that
+// finishing the campaign regrows a byte-identical journal, and that a
+// second resume of the complete journal re-simulates nothing and
+// rewrites nothing.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+
+	"wishbranch/internal/compiler"
+	"wishbranch/internal/config"
+	"wishbranch/internal/cpu"
+	"wishbranch/internal/journal"
+)
+
+// ResumeOracle checks the journal's crash/resume contract end to end
+// over genuine simulator output: a journal killed at any byte offset
+// recovers its longest valid prefix, and resuming reproduces the
+// uninterrupted journal byte for byte.
+type ResumeOracle struct{}
+
+func (o *ResumeOracle) Name() string          { return "resume" }
+func (o *ResumeOracle) SourceSensitive() bool { return true }
+
+func (o *ResumeOracle) Check(ctx context.Context, c Case) error {
+	dir, err := os.MkdirTemp("", "wishfuzz-resume-")
+	if err != nil {
+		return fmt.Errorf("resume oracle setup: %w", err)
+	}
+	defer os.RemoveAll(dir)
+
+	// One result per variant, keyed like a campaign would key them.
+	thr := compiler.DefaultThresholds()
+	cfg := config.DefaultMachine()
+	var keys []string
+	results := make(map[string]*cpu.Result)
+	for _, v := range compiler.Variants() {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		p, err := compiler.CompileOpt(c.Source, v, thr)
+		if err != nil {
+			return fmt.Errorf("compile %v: %w", v, err)
+		}
+		sim, err := cpu.New(cfg, p, nil)
+		if err != nil {
+			return fmt.Errorf("%v: %w", v, err)
+		}
+		res, err := sim.Run(maxCPUCycles)
+		if err != nil {
+			return fmt.Errorf("%v: %w", v, err)
+		}
+		key := fmt.Sprintf("resume|seed=%d|variant=%d", c.Seed, int(v))
+		keys = append(keys, key)
+		results[key] = res
+	}
+
+	// The uninterrupted journal.
+	path := filepath.Join(dir, "campaign.wbj")
+	j, rep, err := journal.Open(path)
+	if err != nil {
+		return err
+	}
+	if rep.Frames != 0 {
+		return fmt.Errorf("fresh journal replayed %d frames", rep.Frames)
+	}
+	if err := j.AppendSpecSet(keys); err != nil {
+		return err
+	}
+	for _, k := range keys {
+		if err := j.Append(k, results[k]); err != nil {
+			return err
+		}
+	}
+	if err := j.Close(); err != nil {
+		return err
+	}
+	full, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("resume oracle: %w", err)
+	}
+
+	// Kill at a seed-derived byte offset (anywhere in the file,
+	// including mid-header and mid-frame) and resume.
+	rng := rand.New(rand.NewSource(int64(c.Seed)))
+	cut := rng.Intn(len(full) + 1)
+	torn := filepath.Join(dir, "torn.wbj")
+	if err := os.WriteFile(torn, full[:cut], 0o666); err != nil {
+		return fmt.Errorf("resume oracle: %w", err)
+	}
+	j, rep, err = journal.Open(torn)
+	if err != nil {
+		return fmt.Errorf("cut %d: recovery failed: %w", cut, err)
+	}
+	// Whatever was replayed must be JSON-identical to the original
+	// result for that key; replayed + missing must partition the keys.
+	for k, got := range rep.Results {
+		want := results[k]
+		if want == nil {
+			return fmt.Errorf("cut %d: replay invented key %q", cut, k)
+		}
+		gotJSON, err := json.Marshal(got)
+		if err != nil {
+			return err
+		}
+		wantJSON, err := json.Marshal(want)
+		if err != nil {
+			return err
+		}
+		if string(gotJSON) != string(wantJSON) {
+			return fmt.Errorf("cut %d: replayed result for %q differs:\nwant: %s\ngot:  %s",
+				cut, k, wantJSON, gotJSON)
+		}
+	}
+	missing := rep.Missing(keys)
+	if len(rep.Results)+len(missing) != len(keys) {
+		return fmt.Errorf("cut %d: %d replayed + %d missing != %d keys",
+			cut, len(rep.Results), len(missing), len(keys))
+	}
+	// Resume: restore the spec set if the cut ate it, then blindly
+	// journal every key in campaign order — dedup keeps the prefix,
+	// appends only the missing suffix.
+	if rep.Specs == nil {
+		if err := j.AppendSpecSet(keys); err != nil {
+			return err
+		}
+	}
+	for _, k := range keys {
+		if err := j.Append(k, results[k]); err != nil {
+			return err
+		}
+	}
+	if err := j.Close(); err != nil {
+		return err
+	}
+	resumed, err := os.ReadFile(torn)
+	if err != nil {
+		return fmt.Errorf("resume oracle: %w", err)
+	}
+	if !bytes.Equal(resumed, full) {
+		return fmt.Errorf("cut %d: resumed journal differs from uninterrupted journal (%d vs %d bytes)",
+			cut, len(resumed), len(full))
+	}
+
+	// Second resume of a complete journal: everything replays, nothing
+	// is rewritten.
+	j, rep, err = journal.Open(torn)
+	if err != nil {
+		return fmt.Errorf("second resume: %w", err)
+	}
+	if rep.Frames != len(keys) || len(rep.Missing(keys)) != 0 {
+		return fmt.Errorf("second resume: %d frames, %d missing — campaign should be complete",
+			rep.Frames, len(rep.Missing(keys)))
+	}
+	for _, k := range keys {
+		if err := j.Append(k, results[k]); err != nil {
+			return err
+		}
+	}
+	if err := j.Close(); err != nil {
+		return err
+	}
+	again, err := os.ReadFile(torn)
+	if err != nil {
+		return fmt.Errorf("resume oracle: %w", err)
+	}
+	if !bytes.Equal(again, full) {
+		return fmt.Errorf("second resume modified a complete journal")
+	}
+	return nil
+}

@@ -35,6 +35,14 @@ type Lab struct {
 	// results are persisted like local ones, so a remote campaign
 	// still warms the local store.
 	Backend func(context.Context, Spec) (*cpu.Result, error)
+	// OnResult, when non-nil, observes every result this process
+	// acquires — fresh simulation, store hit, or backend call — exactly
+	// once per key, before any waiter on that key is released. It is
+	// the campaign journal's hook (internal/journal.Attach): results
+	// are journaled before they are observable, so a crash can lose
+	// only work nobody has seen. Seeded entries (results replayed from
+	// a journal) do not re-fire it. Set before the first run.
+	OnResult func(k Keyed, r *cpu.Result)
 
 	mu      sync.Mutex
 	entries map[string]*entry
@@ -69,6 +77,9 @@ type Counters struct {
 	// was cancelled or timed out. Cancelled runs are not memoized:
 	// the next request for the same key simulates afresh.
 	Canceled uint64
+	// Seeded counts memo entries pre-populated by Seed (journal
+	// replay) rather than produced by this process.
+	Seeded uint64
 }
 
 // Runs returns all completed acquisitions (fresh + disk hits).
@@ -168,9 +179,37 @@ func (l *Lab) ResultKeyed(ctx context.Context, k Keyed) (*cpu.Result, error) {
 			l.mu.Unlock()
 			e.removed = true
 		}
+		if e.err == nil && l.OnResult != nil {
+			// Before close(done): the result is journaled (or otherwise
+			// observed) before any waiter can act on it.
+			l.OnResult(k, e.res)
+		}
 		close(e.done)
 		return e.res, e.err
 	}
+}
+
+// Seed pre-populates the memo table with a completed result — the
+// journal-replay path: a resumed campaign seeds everything the journal
+// already has and re-simulates only the missing suffix. Seeding a key
+// that already has an entry is a no-op (reported as false), and seeded
+// entries do not fire OnResult: they came from the journal, so
+// re-journaling them would be circular. Seed before the campaign
+// starts; it does not resolve racing in-flight productions.
+func (l *Lab) Seed(key string, r *cpu.Result) bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.entries == nil {
+		l.entries = make(map[string]*entry)
+	}
+	if _, ok := l.entries[key]; ok {
+		return false
+	}
+	e := &entry{done: make(chan struct{}), res: r}
+	close(e.done)
+	l.entries[key] = e
+	l.c.Seeded++
+	return true
 }
 
 func isCancellation(err error) bool {

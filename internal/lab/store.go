@@ -29,6 +29,12 @@ type Store struct {
 	// result-kept-in-memory and corrupt-entry recovery paths without
 	// depending on filesystem behaviour.
 	FaultPut func(key string) error
+
+	// gc is the optional size-bound state (see gc.go). Zero value =
+	// unbounded, no tracking.
+	gc storeGC
+	// prePins holds hashes pinned before a bound was set.
+	prePins map[string]bool
 }
 
 // record is the legacy JSON on-disk format (every store written before
@@ -139,12 +145,18 @@ func (s *Store) Get(key string) *cpu.Result {
 // GetHashed is Get with a precomputed content hash (= hashKey(key),
 // pinned by TestKeyedMatchesKey), sparing hot callers the SHA-256.
 func (s *Store) GetHashed(key, hash string) *cpu.Result {
-	if data, err := os.ReadFile(s.path(hash)); err == nil {
+	path := s.path(hash)
+	if data, err := os.ReadFile(path); err == nil {
 		if r := decodeBinRecord(data, key); r != nil {
+			s.touch(path)
 			return r
 		}
 	}
-	return s.getJSON(key, hash)
+	if r := s.getJSON(key, hash); r != nil {
+		s.touch(s.legacyPath(hash))
+		return r
+	}
+	return nil
 }
 
 // getJSON reads a legacy v3 JSON record, so stores written before the
@@ -209,6 +221,7 @@ func (s *Store) PutHashed(key, hash string, r *cpu.Result) error {
 		os.Remove(tmp.Name())
 		return fmt.Errorf("lab: store put: %w", werr)
 	}
+	s.account(dst, int64(len(data)))
 	return nil
 }
 

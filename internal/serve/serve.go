@@ -85,6 +85,12 @@ type Server struct {
 	MaxTimeout time.Duration
 	// Fault, when non-nil, is the deterministic fault-injection hook.
 	Fault *Fault
+	// JournalStats, when non-nil, feeds the /metrics journal section:
+	// it reports the campaign journal's frame counts (total result
+	// frames, frames resumed at startup). cmd/wishsimd points it at
+	// journal.Journal.Stats when -journal is set; serve itself stays
+	// journal-agnostic.
+	JournalStats func() (frames, resumed uint64)
 	// Log, when non-nil, receives one line per rejected or faulted
 	// request.
 	Log io.Writer
@@ -456,6 +462,18 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 			HitRatio: c.HitRatio(),
 		},
 		Stalls: make(map[string]uint64),
+	}
+	if st := s.Lab.Store; st != nil && st.MaxBytes() > 0 {
+		m.Store = &StoreMetrics{
+			Bytes:     st.Bytes(),
+			MaxBytes:  st.MaxBytes(),
+			Evictions: st.Evictions(),
+			Pinned:    st.Pinned(),
+		}
+	}
+	if s.JournalStats != nil {
+		frames, resumed := s.JournalStats()
+		m.Journal = &JournalMetrics{Frames: frames, Resumed: resumed}
 	}
 	s.mu.Lock()
 	for k, v := range s.reqs {

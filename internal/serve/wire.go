@@ -86,6 +86,27 @@ type LabMetrics struct {
 	HitRatio float64 `json:"hit_ratio"`
 }
 
+// StoreMetrics is the store-lifecycle section of /metrics, present
+// when the server's result store runs with a size bound
+// (-store-max-bytes): tracked on-disk bytes, the bound, eviction
+// count, and how many records are pinned by an open journal (pinned
+// records are never evicted).
+type StoreMetrics struct {
+	Bytes     int64  `json:"store_bytes"`
+	MaxBytes  int64  `json:"store_max_bytes"`
+	Evictions uint64 `json:"evictions"`
+	Pinned    int    `json:"pinned"`
+}
+
+// JournalMetrics is the crash-safety section of /metrics, present when
+// the process runs with a campaign journal (-journal): result frames
+// currently in the journal and how many of them were resumed (replayed
+// at startup) rather than appended by this process.
+type JournalMetrics struct {
+	Frames  uint64 `json:"frames"`
+	Resumed uint64 `json:"resumed"`
+}
+
 // Metrics is the /metrics body: admission-control state, request and
 // response counts, the scheduler's cache counters, and the per-bucket
 // stall-cycle totals summed over every result this server has served
@@ -112,4 +133,9 @@ type Metrics struct {
 
 	Lab    LabMetrics        `json:"lab"`
 	Stalls map[string]uint64 `json:"stall_cycles"`
+
+	// Store is present when the result store has a size bound; Journal
+	// when the daemon runs with a campaign journal.
+	Store   *StoreMetrics   `json:"store,omitempty"`
+	Journal *JournalMetrics `json:"journal,omitempty"`
 }
