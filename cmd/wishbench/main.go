@@ -22,20 +22,20 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
-	"runtime"
-	"runtime/pprof"
 	"strings"
 	"time"
 
+	"wishbranch/internal/api"
+	"wishbranch/internal/cliflags"
 	"wishbranch/internal/exp"
 	"wishbranch/internal/journal"
 	"wishbranch/internal/lab"
 	"wishbranch/internal/obs"
-	"wishbranch/internal/serve"
 )
 
 func main() {
@@ -43,37 +43,27 @@ func main() {
 		expFlag  = flag.String("exp", "all", "comma-separated experiment IDs, or 'all'")
 		list     = flag.Bool("list", false, "list experiment IDs and exit")
 		scale    = flag.Float64("scale", 1.0, "workload size multiplier (1.0 = reduced-input default)")
-		workers  = flag.Int("j", runtime.NumCPU(), "max concurrent simulations")
-		cacheDir = flag.String("cache-dir", lab.DefaultDir(), "persistent result store directory (empty = disabled)")
-		jdir     = flag.String("journal", "", "campaign journal directory: crash-safe checkpoint/resume (empty = off)")
-		server   = flag.String("server", "", "wishsimd base URL; simulations run remotely (local store disabled)")
-		verbose  = flag.Bool("v", false, "log each simulation to stderr")
 		statsOut = flag.String("stats-out", "", "write every campaign run's stats snapshot as a JSON array to this file")
-		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile of the campaign to this file")
 
 		benchOut  = flag.String("bench-out", "", "run the host-throughput suite and write BENCH_*.json here (skips the campaign)")
 		benchBase = flag.String("bench-baseline", "", "run the host-throughput suite and gate it against this baseline file (skips the campaign)")
 		benchTol  = flag.Float64("bench-tolerance", 0.15, "allowed relative µops/sec regression for -bench-baseline")
 	)
+	lf := cliflags.RegisterLab(flag.CommandLine)
+	rf := cliflags.RegisterRemote(flag.CommandLine)
+	pf := cliflags.RegisterProfile(flag.CommandLine)
 	flag.Parse()
 
 	if *benchOut != "" || *benchBase != "" {
 		os.Exit(runBenchMode(*benchOut, *benchBase, *benchTol))
 	}
 
-	if *cpuProf != "" {
-		f, err := os.Create(*cpuProf)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "wishbench: cpuprofile: %v\n", err)
-			os.Exit(1)
-		}
-		defer f.Close()
-		if err := pprof.StartCPUProfile(f); err != nil {
-			fmt.Fprintf(os.Stderr, "wishbench: cpuprofile: %v\n", err)
-			os.Exit(1)
-		}
-		defer pprof.StopCPUProfile()
+	stopProfiles, err := pf.Start("wishbench")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
 	}
+	defer stopProfiles()
 
 	if *list {
 		for _, e := range exp.All() {
@@ -84,30 +74,12 @@ func main() {
 
 	l := exp.NewLab()
 	l.Scale = *scale
-	l.Sched.Workers = *workers
-	if *verbose {
-		l.Sched.Log = os.Stderr
-	}
-	if *server != "" {
-		// Remote mode: every simulation becomes an HTTP call to a
-		// wishsimd daemon. The daemon owns the memoization and the
-		// persistent store, so the local store stays off — otherwise a
-		// warm local cache would hide the server from this process and
-		// defeat the point of sharing it.
-		cl := &serve.Client{Base: *server}
-		if *verbose {
-			cl.Log = os.Stderr
-		}
-		l.Sched.Backend = cl.Run
-		fmt.Fprintf(os.Stderr, "wishbench: simulating remotely on %s\n", *server)
-	} else if *cacheDir != "" {
-		store, err := lab.OpenStore(*cacheDir)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "wishbench: %v (continuing without store)\n", err)
-		} else {
-			l.Sched.Store = store
-		}
-	}
+	// One contract for all three execution modes: the runner is a
+	// serve.Client in -server mode (single daemon or coordinator — same
+	// wire) and an api.LabRunner over the local scheduler otherwise.
+	// Rendering pulls from the scheduler either way; the runner feeds
+	// the batch paths (snapshot export below).
+	runner := cliflags.Runner(l.Sched, lf, rf, "wishbench")
 
 	var runIDs []string
 	if *expFlag == "all" {
@@ -145,7 +117,7 @@ func main() {
 	// uninterrupted run because rendering reads the same memo table
 	// either way.
 	var jnl *journal.Journal
-	if *jdir != "" {
+	if lf.Journal != "" {
 		seen := make(map[string]bool, len(specs))
 		var keys []string
 		for _, s := range specs {
@@ -155,7 +127,7 @@ func main() {
 				keys = append(keys, k)
 			}
 		}
-		jpath := journal.CampaignPath(*jdir, keys)
+		jpath := journal.CampaignPath(lf.Journal, keys)
 		j, rep, err := journal.Open(jpath)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "wishbench: %v\n", err)
@@ -198,7 +170,7 @@ func main() {
 	}
 
 	if *statsOut != "" {
-		if err := dumpSnapshots(*statsOut, l, specs); err != nil {
+		if err := dumpSnapshots(*statsOut, runner, specs); err != nil {
 			fmt.Fprintf(os.Stderr, "wishbench: stats-out: %v\n", err)
 			os.Exit(1)
 		}
@@ -211,23 +183,32 @@ func main() {
 // worker counts — host timing is excluded from snapshots by design, so
 // the file is byte-identical across re-runs). Every snapshot is
 // validated before export, so the file can never carry a record that
-// violates the accounting identity.
-func dumpSnapshots(path string, l *exp.Lab, specs []lab.Spec) error {
+// violates the accounting identity. The batch goes through the
+// api.Runner contract, so against a remote server it is one campaign
+// request instead of a request per spec.
+func dumpSnapshots(path string, runner api.Runner, specs []lab.Spec) error {
 	seen := make(map[string]bool)
-	var snaps []*obs.Snapshot
+	var unique []lab.Spec
 	for _, s := range specs {
 		key := s.Key()
 		if seen[key] {
 			continue
 		}
 		seen[key] = true
-		res, err := l.Sched.Result(s)
-		if err != nil {
-			return err
+		unique = append(unique, s)
+	}
+	items, err := runner.Campaign(context.Background(), unique)
+	if err != nil {
+		return err
+	}
+	var snaps []*obs.Snapshot
+	for i, item := range items {
+		if item.Err != "" {
+			return fmt.Errorf("%s: %s", unique[i], item.Err)
 		}
-		snap := s.Snapshot(res)
+		snap := unique[i].Snapshot(item.Result)
 		if err := snap.Validate(); err != nil {
-			return fmt.Errorf("%s: %w", s, err)
+			return fmt.Errorf("%s: %w", unique[i], err)
 		}
 		snaps = append(snaps, snap)
 	}

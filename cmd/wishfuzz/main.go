@@ -38,6 +38,7 @@ import (
 	"syscall"
 	"time"
 
+	"wishbranch/internal/cliflags"
 	"wishbranch/internal/harness"
 )
 
@@ -57,11 +58,18 @@ func run() int {
 		replay     = flag.String("replay", "", "re-run one repro file instead of soaking")
 		quiet      = flag.Bool("q", false, "suppress progress logging")
 	)
+	pf := cliflags.RegisterProfile(flag.CommandLine)
 	flag.Parse()
 	if flag.NArg() != 0 {
 		fmt.Fprintf(os.Stderr, "wishfuzz: unexpected arguments: %v\n", flag.Args())
 		return 2
 	}
+	stopProfiles, err := pf.Start("wishfuzz")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	defer stopProfiles()
 
 	ctx, cancel := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
 	defer cancel()

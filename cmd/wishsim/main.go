@@ -18,10 +18,9 @@ import (
 	"fmt"
 	"io"
 	"os"
-	"runtime"
-	"runtime/pprof"
 	"time"
 
+	"wishbranch/internal/cliflags"
 	"wishbranch/internal/compiler"
 	"wishbranch/internal/config"
 	"wishbranch/internal/cpu"
@@ -48,9 +47,8 @@ func main() {
 		statsOut = flag.String("stats-out", "", "write a schema-versioned JSON stats snapshot to this file ('-' = stdout)")
 		statsCSV = flag.String("stats-csv", "", "write the stats snapshot as CSV to this file ('-' = stdout)")
 		traceN   = flag.Int("trace-events", 0, "trace the last N pipeline events (bypasses the result store)")
-		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile of the simulation to this file")
-		memProf  = flag.String("memprofile", "", "write a heap profile after the simulation to this file")
 	)
+	pf := cliflags.RegisterProfile(flag.CommandLine)
 	flag.Parse()
 
 	b, ok := workload.ByName(*bench)
@@ -85,17 +83,12 @@ func main() {
 	m.NoPredDepend = *noDep
 	m.NoFalseFetch = *noFetch
 
-	if *cpuProf != "" {
-		f, perr := os.Create(*cpuProf)
-		if perr != nil {
-			fail("cpuprofile: %v", perr)
-		}
-		defer f.Close()
-		if perr := pprof.StartCPUProfile(f); perr != nil {
-			fail("cpuprofile: %v", perr)
-		}
-		defer pprof.StopCPUProfile()
+	stopProfiles, perr := pf.Start("wishsim")
+	if perr != nil {
+		fmt.Fprintln(os.Stderr, perr)
+		os.Exit(1)
 	}
+	defer stopProfiles()
 
 	spec := lab.Spec{
 		Bench:      *bench,
@@ -160,17 +153,6 @@ func main() {
 	if *statsCSV != "" {
 		if werr := writeSnapshot(*statsCSV, spec, res, (*obs.Snapshot).WriteCSV); werr != nil {
 			fail("stats-csv: %v", werr)
-		}
-	}
-	if *memProf != "" {
-		f, perr := os.Create(*memProf)
-		if perr != nil {
-			fail("memprofile: %v", perr)
-		}
-		defer f.Close()
-		runtime.GC()
-		if perr := pprof.WriteHeapProfile(f); perr != nil {
-			fail("memprofile: %v", perr)
 		}
 	}
 }

@@ -61,11 +61,11 @@ import (
 	"os"
 	"os/signal"
 	"path/filepath"
-	"runtime"
 	"strings"
 	"syscall"
 	"time"
 
+	"wishbranch/internal/cliflags"
 	"wishbranch/internal/cluster"
 	"wishbranch/internal/cpu"
 	"wishbranch/internal/journal"
@@ -80,15 +80,11 @@ func main() {
 func run() int {
 	var (
 		addr         = flag.String("addr", ":8081", "listen address")
-		workers      = flag.Int("j", runtime.NumCPU(), "max concurrent simulations")
 		queue        = flag.Int("queue", serve.DefaultQueueDepth, "admitted-but-waiting request bound beyond -j (0 = none)")
-		cacheDir     = flag.String("cache-dir", lab.DefaultDir(), "persistent result store directory (empty = disabled)")
 		storeMax     = flag.Int64("store-max-bytes", 0, "result store size bound with LRU-by-access eviction (0 = unbounded)")
-		journalDir   = flag.String("journal", "", "journal directory: crash-safe result log, replayed on startup (empty = off)")
 		maxTimeout   = flag.Duration("max-timeout", serve.DefaultMaxTimeout, "ceiling (and default) for per-request deadlines")
 		drainTimeout = flag.Duration("drain-timeout", 2*time.Minute, "how long SIGTERM waits for in-flight runs")
 		faultSpec    = flag.String("fault", "", `deterministic fault injection: "error:N", "drop:N", or "delay:N:dur"`)
-		verbose      = flag.Bool("v", false, "log each simulation and rejection to stderr")
 
 		coordinator   = flag.Bool("coordinator", false, "run as a cluster coordinator instead of a worker")
 		workerList    = flag.String("worker", "", "comma-separated worker base URLs (coordinator mode; repeatable via commas)")
@@ -96,6 +92,7 @@ func run() int {
 		probeInterval = flag.Duration("probe-interval", 2*time.Second, "worker /healthz probe cadence (coordinator mode)")
 		replicas      = flag.Int("replicas", cluster.DefaultReplicas, "virtual nodes per worker on the hash ring (coordinator mode)")
 	)
+	lf := cliflags.RegisterLab(flag.CommandLine)
 	flag.Parse()
 
 	if *coordinator {
@@ -107,8 +104,8 @@ func run() int {
 			replicas:      *replicas,
 			maxTimeout:    *maxTimeout,
 			drainTimeout:  *drainTimeout,
-			journalDir:    *journalDir,
-			verbose:       *verbose,
+			journalDir:    lf.Journal,
+			verbose:       lf.Verbose,
 		})
 	}
 
@@ -119,24 +116,16 @@ func run() int {
 	}
 
 	sched := lab.New()
-	sched.Workers = *workers
-	if *verbose {
-		sched.Log = os.Stderr
-	}
-	if *cacheDir != "" {
-		store, err := lab.OpenStore(*cacheDir)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "wishsimd: %v (continuing without store)\n", err)
-		} else {
-			sched.Store = store
-			fmt.Fprintf(os.Stderr, "wishsimd: result store at %s\n", store.Dir())
-			if *storeMax > 0 {
-				if err := store.SetMaxBytes(*storeMax); err != nil {
-					fmt.Fprintf(os.Stderr, "wishsimd: %v (store stays unbounded)\n", err)
-				} else {
-					fmt.Fprintf(os.Stderr, "wishsimd: store bounded at %d bytes (currently %d)\n",
-						*storeMax, store.Bytes())
-				}
+	lf.Apply(sched)
+	if store := lf.OpenStore("wishsimd"); store != nil {
+		sched.Store = store
+		fmt.Fprintf(os.Stderr, "wishsimd: result store at %s\n", store.Dir())
+		if *storeMax > 0 {
+			if err := store.SetMaxBytes(*storeMax); err != nil {
+				fmt.Fprintf(os.Stderr, "wishsimd: %v (store stays unbounded)\n", err)
+			} else {
+				fmt.Fprintf(os.Stderr, "wishsimd: store bounded at %d bytes (currently %d)\n",
+					*storeMax, store.Bytes())
 			}
 		}
 	}
@@ -146,8 +135,8 @@ func run() int {
 	// result acquired from here on — a SIGKILL'd daemon restarts with
 	// everything it had acknowledged.
 	var jnl *journal.Journal
-	if *journalDir != "" {
-		jpath := filepath.Join(*journalDir, "server.wbj")
+	if lf.Journal != "" {
+		jpath := filepath.Join(lf.Journal, "server.wbj")
 		j, rep, err := journal.Open(jpath)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "wishsimd: %v\n", err)
@@ -177,7 +166,7 @@ func run() int {
 
 	srv := &serve.Server{
 		Lab:        sched,
-		Workers:    *workers,
+		Workers:    lf.Workers,
 		MaxTimeout: *maxTimeout,
 		Fault:      fault,
 	}
@@ -189,7 +178,7 @@ func run() int {
 	} else {
 		srv.QueueDepth = *queue
 	}
-	if *verbose {
+	if lf.Verbose {
 		srv.Log = os.Stderr
 	}
 
@@ -200,7 +189,7 @@ func run() int {
 			errCh <- err
 		}
 	}()
-	fmt.Fprintf(os.Stderr, "wishsimd: listening on %s (%d workers, queue %d)\n", *addr, *workers, *queue)
+	fmt.Fprintf(os.Stderr, "wishsimd: listening on %s (%d workers, queue %d)\n", *addr, lf.Workers, *queue)
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, syscall.SIGTERM, syscall.SIGINT)

@@ -1,0 +1,74 @@
+package api
+
+import (
+	"context"
+	"runtime"
+	"sync"
+
+	"wishbranch/internal/cpu"
+	"wishbranch/internal/lab"
+)
+
+// Runner is the one execution contract behind every way this codebase
+// runs simulations: in-process through a lab.Lab (LabRunner), remotely
+// through a wishsimd daemon (serve.Client), or across a sharded
+// cluster (cluster.Coordinator). Campaign drivers target Runner and
+// never type-switch on where the work physically executes — the memo
+// table, store, journal, and retry machinery all live behind it.
+//
+// Run executes one spec; Campaign executes a batch and returns its
+// items in request order. Per-item failures are reported inside the
+// items (exactly one of Result and Err set, mirroring the wire's
+// CampaignItem contract); the error return covers transport- and
+// batch-level failures only. Both methods must be safe for concurrent
+// use.
+type Runner interface {
+	Run(ctx context.Context, spec lab.Spec) (*cpu.Result, error)
+	Campaign(ctx context.Context, specs []lab.Spec) ([]CampaignItem, error)
+}
+
+// LabRunner adapts a lab.Lab to the Runner contract: the in-process
+// execution path. Campaign fans the batch out across the lab's worker
+// budget (Lab.Workers, NumCPU when unset) — concurrency and
+// singleflight dedup stay the lab's problem, exactly as they do on the
+// serve and cluster paths.
+type LabRunner struct {
+	Lab *lab.Lab
+}
+
+// Run executes one spec through the lab (memo table and store
+// included).
+func (r LabRunner) Run(ctx context.Context, spec lab.Spec) (*cpu.Result, error) {
+	return r.Lab.ResultContext(ctx, spec)
+}
+
+// Campaign executes a batch through the lab and returns its items in
+// request order. A failed or canceled item carries its error in
+// CampaignItem.Err and does not fail the batch, matching the wire
+// semantics of /v1/campaign.
+func (r LabRunner) Campaign(ctx context.Context, specs []lab.Spec) ([]CampaignItem, error) {
+	items := make([]CampaignItem, len(specs))
+	workers := r.Lab.Workers
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	sem := make(chan struct{}, workers)
+	var wg sync.WaitGroup
+	for i, spec := range specs {
+		wg.Add(1)
+		go func(i int, k lab.Keyed) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			items[i].Key = k.Key
+			res, err := r.Lab.ResultKeyed(ctx, k)
+			if err != nil {
+				items[i].Err = err.Error()
+				return
+			}
+			items[i].Result = res
+		}(i, spec.Keyed())
+	}
+	wg.Wait()
+	return items, nil
+}

@@ -1,0 +1,90 @@
+package api
+
+import (
+	"context"
+	"testing"
+
+	"wishbranch/internal/lab"
+)
+
+// TestLabRunnerRun exercises the in-process Runner implementation on a
+// real (tiny) simulation and pins the Run/memo interaction: a repeat
+// Run is a memo hit, not a second simulation.
+func TestLabRunnerRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy")
+	}
+	sched := lab.New()
+	r := LabRunner{Lab: sched}
+	spec := testSpec()
+	spec.Scale = 0.05
+	res, err := r.Run(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cycles == 0 || !res.Halted {
+		t.Fatalf("implausible result: %+v", res)
+	}
+	if _, err := r.Run(context.Background(), spec); err != nil {
+		t.Fatal(err)
+	}
+	if c := sched.Counters(); c.Fresh != 1 || c.MemHits != 1 {
+		t.Fatalf("counters %+v, want 1 fresh + 1 memo hit", c)
+	}
+}
+
+// TestLabRunnerCampaign pins the Campaign contract every driver
+// (wishbench, wishtune, the harness) relies on: items come back in
+// request order, a bad spec fails its item without failing the batch,
+// and each item's key matches its spec.
+func TestLabRunnerCampaign(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy")
+	}
+	good := testSpec()
+	good.Scale = 0.05
+	bad := good
+	bad.Bench = "no-such-bench"
+	specs := []lab.Spec{good, bad, good}
+
+	items, err := LabRunner{Lab: lab.New()}.Campaign(context.Background(), specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(items) != len(specs) {
+		t.Fatalf("%d items for %d specs", len(items), len(specs))
+	}
+	for i, it := range items {
+		if it.Key != specs[i].Key() {
+			t.Errorf("item %d key %q, want %q", i, it.Key, specs[i].Key())
+		}
+	}
+	if items[0].Err != "" || items[0].Result == nil {
+		t.Errorf("good item failed: %+v", items[0])
+	}
+	if items[1].Err == "" || items[1].Result != nil {
+		t.Errorf("bad spec did not fail its item: %+v", items[1])
+	}
+	if items[2].Err != "" || items[2].Result == nil {
+		t.Errorf("duplicate good item failed: %+v", items[2])
+	}
+	if items[0].Result.Cycles != items[2].Result.Cycles {
+		t.Errorf("same spec, different cycles: %d vs %d", items[0].Result.Cycles, items[2].Result.Cycles)
+	}
+}
+
+// TestLabRunnerCampaignCanceled: a canceled context fails items, not
+// the call — the batch shape stays intact for the caller.
+func TestLabRunnerCampaignCanceled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	spec := testSpec()
+	spec.Scale = 0.05
+	items, err := LabRunner{Lab: lab.New()}.Campaign(ctx, []lab.Spec{spec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(items) != 1 || items[0].Err == "" {
+		t.Fatalf("canceled campaign items %+v, want one errored item", items)
+	}
+}

@@ -47,6 +47,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"wishbranch/internal/api"
 	"wishbranch/internal/cpu"
 	"wishbranch/internal/journal"
 	"wishbranch/internal/lab"
@@ -60,6 +61,9 @@ const (
 	DefaultMaxBackoff   = 2 * time.Second
 	maxRequestBodyBytes = 8 << 20
 )
+
+// Coordinator implements api.Runner; see Run and Campaign.
+var _ api.Runner = (*Coordinator)(nil)
 
 // Coordinator fronts a cluster of wishsimd workers behind the
 // single-node wire API. Configure the exported fields before the first
@@ -251,26 +255,41 @@ func (co *Coordinator) handleRun(w http.ResponseWriter, r *http.Request) {
 	ctx, cancel := context.WithTimeout(r.Context(), co.timeout(req.TimeoutMs))
 	defer cancel()
 
-	k := req.Spec.Keyed()
-	if res := co.checkpointGet(k.Key); res != nil {
-		co.ckptHits.Add(1)
-		co.writeJSON(w, http.StatusOK, serve.RunResponse{Key: k.Key, Result: res})
+	res, err := co.Run(ctx, req.Spec)
+	if err != nil {
+		co.rejectErr(w, err)
 		return
 	}
+	co.writeJSON(w, http.StatusOK, serve.RunResponse{Key: req.Spec.Key(), Result: res})
+}
+
+// Run executes one spec through the cluster: checkpoint first, then
+// routed to the spec's home worker with the usual retry/hedge ladder.
+// Together with Campaign it makes the coordinator the third api.Runner
+// execution path (next to api.LabRunner and serve.Client), so a driver
+// embedding a coordinator in-process needs no HTTP hop. Drain
+// accounting applies to HTTP requests only; direct callers own their
+// own lifecycle.
+func (co *Coordinator) Run(ctx context.Context, spec lab.Spec) (*cpu.Result, error) {
+	co.init()
+	k := spec.Keyed()
+	if res := co.checkpointGet(k.Key); res != nil {
+		co.ckptHits.Add(1)
+		return res, nil
+	}
 	v, err := co.route(ctx, k.Key, func(ctx context.Context, wk *Worker, _ func()) (any, error) {
-		res, rerr := wk.Client.Run(ctx, req.Spec)
+		res, rerr := wk.Client.Run(ctx, spec)
 		if rerr != nil {
 			return nil, rerr
 		}
 		return res, nil
 	})
 	if err != nil {
-		co.rejectErr(w, err)
-		return
+		return nil, err
 	}
 	res := v.(*cpu.Result)
 	co.checkpointPut(k.Key, res)
-	co.writeJSON(w, http.StatusOK, serve.RunResponse{Key: k.Key, Result: res})
+	return res, nil
 }
 
 func (co *Coordinator) handleCampaign(w http.ResponseWriter, r *http.Request) {
@@ -298,7 +317,7 @@ func (co *Coordinator) handleCampaign(w http.ResponseWriter, r *http.Request) {
 	ctx, cancel := context.WithTimeout(r.Context(), co.timeout(req.TimeoutMs))
 	defer cancel()
 
-	items, err := co.campaign(ctx, req.Specs)
+	items, err := co.Campaign(ctx, req.Specs)
 	if err != nil {
 		co.rejectErr(w, err)
 		return
@@ -306,7 +325,7 @@ func (co *Coordinator) handleCampaign(w http.ResponseWriter, r *http.Request) {
 	co.writeJSON(w, http.StatusOK, serve.CampaignResponse{Items: items})
 }
 
-// campaign splits the batch into per-worker shards by each spec's home
+// Campaign splits the batch into per-worker shards by each spec's home
 // on the ring, dispatches the shards concurrently (each with its own
 // retry/hedge ladder), and merges the answers back into request order.
 // The merge is positional — shard results carry their original
@@ -319,8 +338,12 @@ func (co *Coordinator) handleCampaign(w http.ResponseWriter, r *http.Request) {
 // whole batch with 429 and the maximum Retry-After across shards,
 // because the batch-admitted-whole contract means "come back later",
 // not "here is half your campaign".
-func (co *Coordinator) campaign(ctx context.Context, specs []lab.Spec) ([]serve.CampaignItem, error) {
-	items := make([]serve.CampaignItem, len(specs))
+//
+// Campaign is the batch half of the coordinator's api.Runner
+// implementation and may be called directly, without the HTTP wire.
+func (co *Coordinator) Campaign(ctx context.Context, specs []lab.Spec) ([]api.CampaignItem, error) {
+	co.init()
+	items := make([]api.CampaignItem, len(specs))
 	keyed := make([]lab.Keyed, len(specs))
 	for i := range specs {
 		// One key computation per campaign item: the ring placement,
@@ -400,7 +423,7 @@ func (co *Coordinator) campaign(ctx context.Context, specs []lab.Spec) ([]serve.
 				}
 				return
 			}
-			got := v.([]serve.CampaignItem)
+			got := v.([]api.CampaignItem)
 			for j, idx := range idxs {
 				if got[j].Key != keyed[idx].Key {
 					items[idx].Err = fmt.Sprintf(
@@ -448,13 +471,13 @@ func (co *Coordinator) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	co.count("metrics")
 	workers := co.Registry.Workers()
 	m := Metrics{
-		Schema:       serve.APISchema,
-		UptimeSecs:   time.Since(co.started).Seconds(),
-		Draining:     co.draining.Load(),
-		Generation:   co.Registry.Generation(),
-		Replicas:     co.Registry.Replicas,
-		LiveWorkers:  len(co.Registry.Live()),
-		TotalWorkers: len(workers),
+		Schema:         serve.APISchema,
+		UptimeSecs:     time.Since(co.started).Seconds(),
+		Draining:       co.draining.Load(),
+		Generation:     co.Registry.Generation(),
+		Replicas:       co.Registry.Replicas,
+		LiveWorkers:    len(co.Registry.Live()),
+		TotalWorkers:   len(workers),
 		Reroutes:       co.reroutes.Load(),
 		Hedges:         co.hedges.Load(),
 		CheckpointHits: co.ckptHits.Load(),

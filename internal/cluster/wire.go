@@ -1,65 +1,18 @@
 package cluster
 
-// The coordinator's /v1/run and /v1/campaign speak serve's wire types
-// verbatim — that is what makes it a drop-in for a single wishsimd.
-// Only /healthz and /metrics have cluster-shaped bodies, defined here.
+// The coordinator's /v1/run and /v1/campaign speak the api package's
+// wire types verbatim — that is what makes it a drop-in for a single
+// wishsimd. Only /healthz and /metrics have cluster-shaped bodies,
+// defined (like everything on the wire) in internal/api and aliased
+// here under the names this package has always exported.
 
-import "wishbranch/internal/serve"
+import "wishbranch/internal/api"
 
-// Health is the coordinator's /healthz body. Status is "ok" (HTTP 200,
-// at least one live worker), "degraded" (HTTP 503, no live workers —
-// requests would be shed), or "draining" (HTTP 503).
-type Health struct {
-	Status     string  `json:"status"`
-	UptimeSecs float64 `json:"uptime_secs"`
-	// Generation is the membership generation: it increments on every
-	// worker liveness transition, so a changed value means the ring
-	// was rebuilt.
-	Generation   uint64 `json:"generation"`
-	LiveWorkers  int    `json:"live_workers"`
-	TotalWorkers int    `json:"total_workers"`
-}
+// Health is the coordinator's /healthz body (api.ClusterHealth).
+type Health = api.ClusterHealth
 
-// WorkerStatus is one worker's row in /metrics, in registration order.
-type WorkerStatus struct {
-	URL   string `json:"url"`
-	Alive bool   `json:"alive"`
-	// Requests counts attempts routed to this worker (hedges included).
-	Requests uint64 `json:"requests"`
-	// Errors counts attempts that failed (transport or non-2xx).
-	Errors uint64 `json:"errors"`
-	// Hedges counts hedge attempts launched against this worker as
-	// the successor of a straggling home node.
-	Hedges uint64 `json:"hedges"`
-}
+// WorkerStatus is one worker's row in /metrics (api.WorkerStatus).
+type WorkerStatus = api.WorkerStatus
 
-// Metrics is the coordinator's /metrics body: ring state, routing
-// counters, and the per-worker table.
-type Metrics struct {
-	Schema     int     `json:"schema"`
-	UptimeSecs float64 `json:"uptime_secs"`
-	Draining   bool    `json:"draining"`
-
-	// Ring state.
-	Generation   uint64 `json:"generation"`
-	Replicas     int    `json:"replicas"`
-	LiveWorkers  int    `json:"live_workers"`
-	TotalWorkers int    `json:"total_workers"`
-
-	// Routing counters: Reroutes counts shard dispatch retries (after
-	// a failure or a busy worker), Hedges counts hedge launches.
-	Reroutes uint64 `json:"reroutes"`
-	Hedges   uint64 `json:"hedges"`
-	// CheckpointHits counts request items answered from the merge
-	// checkpoint (the coordinator journal) instead of a worker.
-	CheckpointHits uint64 `json:"checkpoint_hits"`
-
-	Requests  map[string]uint64 `json:"requests"`
-	Responses map[string]uint64 `json:"responses"`
-
-	// Journal is present when the coordinator checkpoints to a journal
-	// (same shape as a worker's journal section).
-	Journal *serve.JournalMetrics `json:"journal,omitempty"`
-
-	Workers []WorkerStatus `json:"workers"`
-}
+// Metrics is the coordinator's /metrics body (api.ClusterMetrics).
+type Metrics = api.ClusterMetrics

@@ -7,6 +7,8 @@ package compiler
 // baseline is estimated to need n/issueEff cycles plus a base latency.
 // The misprediction penalty is the machine's 30 cycles.
 
+import "fmt"
+
 const (
 	mispredPenalty = 30.0
 	issueEff       = 4.0 // effective sustained µops/cycle for straight-line code
@@ -38,6 +40,39 @@ type Thresholds struct {
 // DefaultThresholds returns the paper's untuned N=5/L=30.
 func DefaultThresholds() Thresholds {
 	return Thresholds{WishJump: WishJumpThreshold, WishLoop: WishLoopThreshold}
+}
+
+// maxThresholdValue bounds N and L: thresholds beyond any realistic
+// block size would only bloat the spec key space without changing a
+// single conversion decision.
+const maxThresholdValue = 1 << 16
+
+// Validate reports out-of-range conversion thresholds. The zero value
+// is invalid on purpose: a spec that forgot to set thresholds should
+// fail loudly instead of silently predicating everything (N=0 converts
+// every hammock) — lab.Spec.Validate runs this on every spec before it
+// reaches a worker.
+func (t Thresholds) Validate() error {
+	if t.WishJump <= 0 || t.WishLoop <= 0 {
+		return fmt.Errorf("compiler: unset conversion thresholds N=%d L=%d (use DefaultThresholds)",
+			t.WishJump, t.WishLoop)
+	}
+	if t.WishJump > maxThresholdValue || t.WishLoop > maxThresholdValue {
+		return fmt.Errorf("compiler: conversion thresholds N=%d L=%d exceed %d",
+			t.WishJump, t.WishLoop, maxThresholdValue)
+	}
+	return nil
+}
+
+// TuneAxes returns the candidate N (wish-jump) and L (wish-loop)
+// values the policy auto-tuner (internal/tune) searches. Both lists
+// bracket the paper's untuned N=5/L=30 — the point of §6's sensitivity
+// discussion is that the best setting is workload-dependent, so the
+// grid reaches well below and above the defaults. Every value passes
+// Validate.
+func TuneAxes() (wishJump, wishLoop []int) {
+	return []int{2, 3, 5, 8, 12, 16},
+		[]int{2, 4, 8, 16, 30, 50}
 }
 
 // blockTime estimates the execution time of n straight-line µops.

@@ -1,4 +1,8 @@
 // Package conf implements branch-prediction confidence estimation.
+// JRSConfig carries Validate (the constructor's contract, also run on
+// every lab.Spec before simulation), Sig (a compact human-readable
+// signature for reports), and TuneAxes (the candidate values the
+// policy auto-tuner in internal/tune searches).
 //
 // The paper uses a modified JRS estimator (Jacobsen, Rotenberg & Smith,
 // MICRO-29): a small table of miss-distance counters indexed by branch
@@ -8,6 +12,8 @@
 // a threshold. The paper's instance is 1 KB, tagged, 4-way, with 16-bit
 // history (Table 2); it is dedicated to wish branches.
 package conf
+
+import "fmt"
 
 // JRSConfig sizes the estimator.
 type JRSConfig struct {
@@ -38,6 +44,48 @@ func DefaultJRSConfig() JRSConfig {
 	return JRSConfig{Entries: 512, Ways: 4, HistoryBits: 0, CtrBits: 4, Threshold: 8}
 }
 
+// Validate reports an unbuildable estimator configuration: a
+// non-power-of-two or way-indivisible table, a zero-width counter, a
+// threshold past the never-confident sentinel, or a history width
+// beyond the 64-bit history register. Threshold may be saturation+1:
+// a counter can never reach it, which pins the estimator to low
+// confidence — the intentional "always predicate" configuration the
+// mode-forcing tests use.
+func (c JRSConfig) Validate() error {
+	if c.Entries <= 0 || c.Entries&(c.Entries-1) != 0 || c.Ways <= 0 || c.Entries%c.Ways != 0 {
+		return fmt.Errorf("conf: entries (%d) must be a power of two divisible by ways (%d)", c.Entries, c.Ways)
+	}
+	if c.CtrBits <= 0 || c.CtrBits > 16 {
+		return fmt.Errorf("conf: counter width %d bits outside (0,16]", c.CtrBits)
+	}
+	if max := 1<<uint(c.CtrBits) - 1; c.Threshold < 0 || c.Threshold > max+1 {
+		return fmt.Errorf("conf: threshold %d outside [0,%d] for %d-bit counters", c.Threshold, max+1, c.CtrBits)
+	}
+	if c.HistoryBits < 0 || c.HistoryBits > 64 {
+		return fmt.Errorf("conf: history bits %d outside [0,64]", c.HistoryBits)
+	}
+	return nil
+}
+
+// Sig is the compact signature of the configuration, used by tuned
+// policy reports: e.g. the default is "jrs-e512w4h0c4t8".
+func (c JRSConfig) Sig() string {
+	return fmt.Sprintf("jrs-e%dw%dh%dc%dt%d", c.Entries, c.Ways, c.HistoryBits, c.CtrBits, c.Threshold)
+}
+
+// TuneAxes returns the candidate values the policy auto-tuner
+// (internal/tune) searches per estimator axis: the confidence
+// threshold (bounded by the default 4-bit counter's saturation value
+// 15), the history bits hashed into the index, and the table size.
+// Ways and counter width stay at their defaults — the paper fixes the
+// 4-way 4-bit geometry (Table 2), and every listed combination
+// passes Validate against it.
+func TuneAxes() (threshold, historyBits, entries []int) {
+	return []int{2, 4, 6, 8, 10, 12, 15},
+		[]int{0, 2, 4, 8, 16},
+		[]int{256, 512, 1024}
+}
+
 // JRS is the tagged set-associative miss-distance-counter estimator.
 type JRS struct {
 	cfg     JRSConfig
@@ -51,14 +99,13 @@ type JRS struct {
 	Lookups, HighConf uint64
 }
 
-// NewJRS builds the estimator.
+// NewJRS builds the estimator. The configuration must pass Validate;
+// lab.Spec.Validate runs the same check before a spec reaches a
+// worker, so a malformed config is a 400 at the API boundary rather
+// than a panic mid-simulation.
 func NewJRS(cfg JRSConfig) *JRS {
-	if cfg.Entries <= 0 || cfg.Entries&(cfg.Entries-1) != 0 ||
-		cfg.Ways <= 0 || cfg.Entries%cfg.Ways != 0 {
-		panic("conf: entries must be a power of two divisible by ways")
-	}
-	if cfg.CtrBits <= 0 || cfg.Threshold < 0 {
-		panic("conf: bad counter configuration")
+	if err := cfg.Validate(); err != nil {
+		panic(err)
 	}
 	sets := cfg.Entries / cfg.Ways
 	return &JRS{

@@ -170,7 +170,11 @@ func (m *Machine) Validate() error {
 	case m.MaxCondBrPerCycle <= 0:
 		return errBad("cond branches per cycle")
 	}
-	return nil
+	// The estimator geometry rides inside the machine; validating it
+	// here means every lab.Spec carrying a tuner-proposed JRSConfig is
+	// checked at the API boundary instead of panicking in NewJRS
+	// mid-simulation.
+	return m.JRS.Validate()
 }
 
 type configError string

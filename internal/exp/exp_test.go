@@ -65,12 +65,12 @@ func TestNormIsRelative(t *testing.T) {
 
 func TestExperimentRegistry(t *testing.T) {
 	ids := IDs()
-	if len(ids) != 18 {
-		t.Errorf("%d experiments, want 18 (every paper table and figure + 3 extensions + obs-stalls)", len(ids))
+	if len(ids) != 19 {
+		t.Errorf("%d experiments, want 19 (every paper table and figure + 4 extensions + obs-stalls)", len(ids))
 	}
 	for _, id := range []string{"fig1", "fig2", "table1", "table2", "table3",
 		"table4", "fig10", "fig11", "fig12", "fig13", "table5", "fig14", "fig15", "fig16",
-		"obs-stalls"} {
+		"tune-sens", "obs-stalls"} {
 		if _, ok := ByID(id); !ok {
 			t.Errorf("experiment %q missing", id)
 		}

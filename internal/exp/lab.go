@@ -178,6 +178,7 @@ func All() []Experiment {
 		{"ext-loop-pred", "Extension (§7 future work): biased trip-count wish-loop predictor", extLoopPredRuns, ExtLoopPredictor},
 		{"ext-confidence", "Extension (§7 future work): confidence estimator design sweep", extConfidenceRuns, ExtConfidence},
 		{"ext-thresholds", "Extension (§7 future work): compiler N/L threshold sweep", extThresholdRuns, ExtThresholds},
+		{"tune-sens", "Extension: per-workload single-axis tuning headroom (joint search: cmd/wishtune)", tuneSensRuns, TuneSens},
 		{"obs-stalls", "Observability: stall-taxonomy cycle accounting and top offending branches", obsRuns, ObsStalls},
 	}
 }

@@ -21,6 +21,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"wishbranch/internal/api"
 	"wishbranch/internal/cluster"
 	"wishbranch/internal/compiler"
 	"wishbranch/internal/config"
@@ -148,13 +149,13 @@ func (o *ClusterOracle) Check(ctx context.Context, c Case) error {
 
 	// Local ground truth, computed first so a divergence message can
 	// show both sides.
-	want := make([]*serve.CampaignItem, len(specs))
+	want := make([]*api.CampaignItem, len(specs))
 	for i, s := range specs {
 		res, err := s.Simulate()
 		if err != nil {
 			return fmt.Errorf("local spec %d: %w", i, err)
 		}
-		want[i] = &serve.CampaignItem{Key: s.Key(), Result: res}
+		want[i] = &api.CampaignItem{Key: s.Key(), Result: res}
 	}
 
 	items, err := runChaosCampaign(ctx, specs, chaos)
@@ -187,7 +188,7 @@ func (o *ClusterOracle) Check(ctx context.Context, c Case) error {
 
 // runChaosCampaign stands up the fleet, applies the schedule, and runs
 // the campaign through the coordinator's public wire API.
-func runChaosCampaign(ctx context.Context, specs []lab.Spec, chaos []ChaosEvent) ([]serve.CampaignItem, error) {
+func runChaosCampaign(ctx context.Context, specs []lab.Spec, chaos []ChaosEvent) ([]api.CampaignItem, error) {
 	faults := map[int]string{}
 	kills := map[int]uint64{}
 	for _, ev := range chaos {
@@ -226,8 +227,11 @@ func runChaosCampaign(ctx context.Context, specs []lab.Spec, chaos []ChaosEvent)
 	coord := httptest.NewServer(co.Handler())
 	defer coord.Close()
 
-	client := &serve.Client{Base: coord.URL, Retries: -1}
-	return client.Campaign(ctx, specs)
+	// The campaign goes through the api.Runner contract — the same
+	// interface wishbench and wishtune target — so the oracle checks
+	// the path real drivers use, not a private test entry point.
+	var runner api.Runner = &serve.Client{Base: coord.URL, Retries: -1}
+	return runner.Campaign(ctx, specs)
 }
 
 // killAfter wraps a worker handler so its nth admitted API request —

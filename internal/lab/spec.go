@@ -76,8 +76,8 @@ func (s Spec) Validate() error {
 	if s.Scale <= 0 {
 		return fmt.Errorf("lab: %s: non-positive scale %v (use workload.DefaultScale)", s.Bench, s.Scale)
 	}
-	if s.Thresholds.WishJump <= 0 || s.Thresholds.WishLoop <= 0 {
-		return fmt.Errorf("lab: %s: unset compiler thresholds (use compiler.DefaultThresholds)", s.Bench)
+	if err := s.Thresholds.Validate(); err != nil {
+		return fmt.Errorf("lab: %s: %w", s.Bench, err)
 	}
 	return s.Machine.Validate()
 }

@@ -4,8 +4,6 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
-	"errors"
-	"fmt"
 	"net"
 	"net/http"
 	"net/http/httptest"
@@ -13,6 +11,7 @@ import (
 	"testing"
 	"time"
 
+	"wishbranch/internal/api"
 	"wishbranch/internal/cpu"
 	"wishbranch/internal/lab"
 )
@@ -25,143 +24,6 @@ func wireResult(seed uint64) *cpu.Result {
 		RetiredUops:  2000 + seed,
 		CondBranches: 17 * seed,
 		Halted:       true,
-	}
-}
-
-func TestBinaryRunResponseRoundTrip(t *testing.T) {
-	want := RunResponse{Key: "v3|bench=gzip|whatever", Result: wireResult(7)}
-	data := appendRunResponse(nil, want.Key, want.Result)
-	var got RunResponse
-	if err := decodeRunResponse(data, &got); err != nil {
-		t.Fatal(err)
-	}
-	wantJSON, _ := json.Marshal(want)
-	gotJSON, _ := json.Marshal(got)
-	if !bytes.Equal(wantJSON, gotJSON) {
-		t.Errorf("round trip differs:\nwant %s\ngot  %s", wantJSON, gotJSON)
-	}
-}
-
-func TestBinaryRunResponseCorruption(t *testing.T) {
-	good := appendRunResponse(nil, "key", wireResult(1))
-	cases := map[string][]byte{
-		"empty":             {},
-		"short length":      good[:2],
-		"truncated key":     good[:5],
-		"truncated result":  good[:len(good)-3],
-		"trailing garbage":  append(append([]byte{}, good...), 0xee),
-		"absurd key length": {0xff, 0xff, 0xff, 0xff, 'k'},
-	}
-	for name, data := range cases {
-		var resp RunResponse
-		err := decodeRunResponse(data, &resp)
-		if !errors.Is(err, ErrBinWire) {
-			t.Errorf("%s: err = %v, want ErrBinWire", name, err)
-		}
-	}
-}
-
-func TestBinaryCampaignItemRoundTrip(t *testing.T) {
-	items := []CampaignItem{
-		{Key: "ok-key", Result: wireResult(3)},
-		{Key: "failed-key", Err: "lab: simulated explosion"},
-	}
-	for _, want := range items {
-		data := appendCampaignItem(nil, &want)
-		got, err := decodeCampaignItem(data)
-		if err != nil {
-			t.Fatalf("%s: %v", want.Key, err)
-		}
-		wantJSON, _ := json.Marshal(want)
-		gotJSON, _ := json.Marshal(got)
-		if !bytes.Equal(wantJSON, gotJSON) {
-			t.Errorf("%s round trip differs:\nwant %s\ngot  %s", want.Key, wantJSON, gotJSON)
-		}
-	}
-}
-
-func TestBinaryCampaignItemCorruption(t *testing.T) {
-	ok := appendCampaignItem(nil, &CampaignItem{Key: "k", Result: wireResult(2)})
-	errItem := appendCampaignItem(nil, &CampaignItem{Key: "k", Err: "boom"})
-	badKind := append([]byte{}, ok...)
-	badKind[4+1] = 9 // kind byte right after the 1-byte key
-	cases := map[string][]byte{
-		"empty":                {},
-		"missing kind":         ok[:5],
-		"truncated result":     ok[:len(ok)-1],
-		"truncated error":      errItem[:len(errItem)-2],
-		"trailing after error": append(append([]byte{}, errItem...), 0),
-		"unknown kind":         badKind,
-		"empty error string":   {1, 0, 0, 0, 'k', 1, 0, 0, 0, 0},
-	}
-	for name, data := range cases {
-		if _, err := decodeCampaignItem(data); !errors.Is(err, ErrBinWire) {
-			t.Errorf("%s: err = %v, want ErrBinWire", name, err)
-		}
-	}
-}
-
-// TestCampaignStreamReassemblesRequestOrder: frames written in any
-// completion order come back in request order, and onItem sees the
-// completion order.
-func TestCampaignStreamReassemblesRequestOrder(t *testing.T) {
-	const n = 5
-	items := make([]CampaignItem, n)
-	for i := range items {
-		items[i] = CampaignItem{Key: fmt.Sprintf("key-%d", i), Result: wireResult(uint64(i))}
-	}
-	items[3] = CampaignItem{Key: "key-3", Err: "item 3 failed"}
-
-	completion := []int{3, 0, 4, 1, 2}
-	var wire []byte
-	for _, i := range completion {
-		wire = appendStreamItemFrame(wire, i, &items[i])
-	}
-	wire = appendStreamEndFrame(wire, n)
-
-	var sawOrder []int
-	got, err := readCampaignStream(bytes.NewReader(wire), n, func(i int, item CampaignItem) {
-		sawOrder = append(sawOrder, i)
-		if item.Key != items[i].Key {
-			t.Errorf("onItem(%d): key %q, want %q", i, item.Key, items[i].Key)
-		}
-	})
-	if err != nil {
-		t.Fatal(err)
-	}
-	wantJSON, _ := json.Marshal(items)
-	gotJSON, _ := json.Marshal(got)
-	if !bytes.Equal(wantJSON, gotJSON) {
-		t.Errorf("merged stream differs from request order:\nwant %s\ngot  %s", wantJSON, gotJSON)
-	}
-	if fmt.Sprint(sawOrder) != fmt.Sprint(completion) {
-		t.Errorf("onItem order %v, want completion order %v", sawOrder, completion)
-	}
-}
-
-func TestCampaignStreamMalformed(t *testing.T) {
-	item := CampaignItem{Key: "k", Result: wireResult(9)}
-	frame := appendStreamItemFrame(nil, 0, &item)
-	end := func(count int) []byte { return appendStreamEndFrame(nil, count) }
-	join := func(bs ...[]byte) []byte { return bytes.Join(bs, nil) }
-
-	cases := map[string][]byte{
-		"empty":              {},
-		"cut mid header":     frame[:3],
-		"cut mid body":       frame[:len(frame)-4],
-		"no terminal frame":  frame,
-		"eof after items":    frame, // same bytes; named for the contract
-		"terminal count low": join(frame, end(0)),
-		"missing item":       end(1),
-		"index out of range": join(appendStreamItemFrame(nil, 5, &item), end(1)),
-		"duplicate index":    join(frame, frame, end(1)),
-		"unknown tag":        {0x51, 0, 0, 0, 0},
-		"garbled item body":  join([]byte{streamItemTag, 0, 0, 0, 0, 3, 0, 0, 0, 1, 2, 3}, end(1)),
-	}
-	for name, wire := range cases {
-		if _, err := readCampaignStream(bytes.NewReader(wire), 1, nil); !errors.Is(err, ErrBinWire) {
-			t.Errorf("%s: err = %v, want ErrBinWire", name, err)
-		}
 	}
 }
 
@@ -190,7 +52,7 @@ func TestServerNegotiatesRunEncoding(t *testing.T) {
 	}
 
 	jsonResp := post("")
-	if ct := jsonResp.Header.Get("Content-Type"); !isContentType(ct, "application/json") {
+	if ct := jsonResp.Header.Get("Content-Type"); !api.IsContentType(ct, "application/json") {
 		t.Fatalf("no Accept: content type %q, want JSON", ct)
 	}
 	var viaJSON RunResponse
@@ -199,7 +61,7 @@ func TestServerNegotiatesRunEncoding(t *testing.T) {
 	}
 
 	binResp := post(BinaryContentType + ", application/json")
-	if ct := binResp.Header.Get("Content-Type"); !isContentType(ct, BinaryContentType) {
+	if ct := binResp.Header.Get("Content-Type"); !api.IsContentType(ct, BinaryContentType) {
 		t.Fatalf("binary Accept: content type %q, want %q", ct, BinaryContentType)
 	}
 	data := new(bytes.Buffer)
@@ -207,7 +69,7 @@ func TestServerNegotiatesRunEncoding(t *testing.T) {
 		t.Fatal(err)
 	}
 	var viaBin RunResponse
-	if err := decodeRunResponse(data.Bytes(), &viaBin); err != nil {
+	if err := api.DecodeRunResponse(data.Bytes(), &viaBin); err != nil {
 		t.Fatal(err)
 	}
 
@@ -250,7 +112,7 @@ func TestServerStreamsCampaign(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer resp.Body.Close()
-	if ct := resp.Header.Get("Content-Type"); !isContentType(ct, "application/json") {
+	if ct := resp.Header.Get("Content-Type"); !api.IsContentType(ct, "application/json") {
 		t.Fatalf("plain POST got content type %q", ct)
 	}
 	var viaJSON CampaignResponse
@@ -315,13 +177,13 @@ func TestClientRetriesCutStream(t *testing.T) {
 		w.WriteHeader(http.StatusOK)
 		if calls.Add(1) == 1 {
 			// One item of two, then die without the terminal frame.
-			w.Write(appendStreamItemFrame(nil, 0, &item)) //nolint:errcheck
+			w.Write(api.AppendStreamItemFrame(nil, 0, &item)) //nolint:errcheck
 			panic(http.ErrAbortHandler)
 		}
 		var out []byte
-		out = appendStreamItemFrame(out, 0, &item)
-		out = appendStreamItemFrame(out, 1, &item)
-		out = appendStreamEndFrame(out, 2)
+		out = api.AppendStreamItemFrame(out, 0, &item)
+		out = api.AppendStreamItemFrame(out, 1, &item)
+		out = api.AppendStreamEndFrame(out, 2)
 		w.Write(out) //nolint:errcheck
 	})
 	ts := httptest.NewServer(mux)

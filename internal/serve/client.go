@@ -14,6 +14,7 @@ import (
 	"sync"
 	"time"
 
+	"wishbranch/internal/api"
 	"wishbranch/internal/cpu"
 	"wishbranch/internal/lab"
 )
@@ -27,6 +28,10 @@ import (
 //
 //	cl := &serve.Client{Base: "http://sim-host:8081"}
 //	sched.Backend = cl.Run
+//
+// Client implements api.Runner (Run and Campaign), so a remote server
+// is interchangeable with an in-process api.LabRunner or a cluster
+// coordinator wherever that contract is asked for.
 //
 // Client is safe for concurrent use.
 type Client struct {
@@ -56,6 +61,10 @@ type Client struct {
 
 // DefaultRetries is the retry budget when Client.Retries is zero.
 const DefaultRetries = 4
+
+// Client is one of the three api.Runner execution paths (the remote
+// one).
+var _ api.Runner = (*Client)(nil)
 
 func (c *Client) init() {
 	c.once.Do(func() {
@@ -267,19 +276,19 @@ func (c *Client) decodeResponse(resp *http.Response, out any) (retryable bool, e
 	ct := resp.Header.Get("Content-Type")
 	switch o := out.(type) {
 	case *RunResponse:
-		if isContentType(ct, BinaryContentType) {
+		if api.IsContentType(ct, BinaryContentType) {
 			data, err := io.ReadAll(resp.Body)
 			if err != nil {
 				return true, fmt.Errorf("serve: read binary response: %w", err)
 			}
-			if err := decodeRunResponse(data, o); err != nil {
+			if err := api.DecodeRunResponse(data, o); err != nil {
 				return true, err
 			}
 			return false, nil
 		}
 	case *campaignSink:
-		if isContentType(ct, StreamContentType) {
-			items, err := readCampaignStream(resp.Body, o.n, o.onItem)
+		if api.IsContentType(ct, StreamContentType) {
+			items, err := api.ReadCampaignStream(resp.Body, o.n, o.onItem)
 			if err != nil {
 				return true, err
 			}

@@ -44,6 +44,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"wishbranch/internal/api"
 	"wishbranch/internal/cpu"
 	"wishbranch/internal/lab"
 	"wishbranch/internal/obs"
@@ -299,8 +300,8 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		s.reject(w, runErrStatus(err), err.Error())
 		return
 	}
-	if acceptsType(r, BinaryContentType) {
-		s.writeBinary(w, BinaryContentType, appendRunResponse(nil, k.Key, res))
+	if api.AcceptsType(r, BinaryContentType) {
+		s.writeBinary(w, BinaryContentType, api.AppendRunResponse(nil, k.Key, res))
 		return
 	}
 	s.writeJSON(w, http.StatusOK, RunResponse{Key: k.Key, Result: res})
@@ -353,7 +354,7 @@ func (s *Server) handleCampaign(w http.ResponseWriter, r *http.Request) {
 	// change. From here every item completes (possibly with a per-item
 	// error), and the only remaining batch-level failure is the
 	// connection itself dying.
-	if acceptsType(r, StreamContentType) {
+	if api.AcceptsType(r, StreamContentType) {
 		s.streamCampaign(w, ctx, keyed)
 		return
 	}
@@ -410,7 +411,7 @@ func (s *Server) streamCampaign(w http.ResponseWriter, ctx context.Context, keye
 				item.Result = res
 			}
 			wmu.Lock()
-			buf = appendStreamItemFrame(buf[:0], i, &item)
+			buf = api.AppendStreamItemFrame(buf[:0], i, &item)
 			w.Write(buf) //nolint:errcheck // a dead client surfaces as stream-cut on its side
 			if flusher != nil {
 				flusher.Flush()
@@ -419,7 +420,7 @@ func (s *Server) streamCampaign(w http.ResponseWriter, ctx context.Context, keye
 		}(i, k)
 	}
 	wg.Wait()
-	w.Write(appendStreamEndFrame(nil, len(keyed))) //nolint:errcheck // see above
+	w.Write(api.AppendStreamEndFrame(nil, len(keyed))) //nolint:errcheck // see above
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
@@ -560,18 +561,10 @@ func (s *Server) rejectBusy(w http.ResponseWriter, status int) {
 	s.reject(w, status, msg)
 }
 
-// WriteJSON writes v as the response body with the headers every
-// endpoint of the wire API promises: an explicit JSON content type
-// (errors included — a client must never have to sniff a rejection)
-// and nosniff so nothing downstream second-guesses it. Exported for
-// internal/cluster, whose coordinator speaks the same wire format.
+// WriteJSON writes v with the wire API's promised headers; it is
+// api.WriteJSON, kept here for the existing serve-facing call sites.
 func WriteJSON(w http.ResponseWriter, status int, v any) {
-	w.Header().Set("Content-Type", "application/json; charset=utf-8")
-	w.Header().Set("X-Content-Type-Options", "nosniff")
-	w.WriteHeader(status)
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	enc.Encode(v) //nolint:errcheck // nothing to do about a dead client
+	api.WriteJSON(w, status, v)
 }
 
 func (s *Server) writeJSON(w http.ResponseWriter, status int, v any) {

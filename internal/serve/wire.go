@@ -1,141 +1,28 @@
 package serve
 
-import (
-	"wishbranch/internal/cpu"
-	"wishbranch/internal/lab"
+// The wire surface is defined once, in internal/api; this file aliases
+// it into serve's namespace so existing call sites (and the package's
+// long-standing public names) keep compiling without a second struct
+// definition anywhere. New code should import internal/api directly.
+
+import "wishbranch/internal/api"
+
+// APISchema versions the HTTP wire format; see api.Version for the
+// compatibility contract.
+const APISchema = api.Version
+
+// Aliases for the JSON wire types. These are type aliases, not
+// definitions — serve.RunRequest IS api.RunRequest.
+type (
+	RunRequest       = api.RunRequest
+	RunResponse      = api.RunResponse
+	CampaignRequest  = api.CampaignRequest
+	CampaignItem     = api.CampaignItem
+	CampaignResponse = api.CampaignResponse
+	ErrorResponse    = api.ErrorResponse
+	Health           = api.Health
+	LabMetrics       = api.LabMetrics
+	StoreMetrics     = api.StoreMetrics
+	JournalMetrics   = api.JournalMetrics
+	Metrics          = api.Metrics
 )
-
-// APISchema versions the HTTP wire format. A request carrying a
-// different schema is rejected with 400 instead of being guessed at:
-// the spec encoding (lab.Spec as JSON, including the full machine
-// configuration) must round-trip to an identical cache key on the
-// server, and a version skew would silently break that.
-const APISchema = 1
-
-// RunRequest asks for one simulation. The spec is the complete
-// lab.Spec — workload, input, binary variant, full machine
-// configuration, scale, compiler thresholds, cycle bound — serialized
-// directly, so decode(encode(spec)) has the same Key() as the original
-// (TestWireSpecKeyRoundTrip).
-type RunRequest struct {
-	Schema int      `json:"schema"`
-	Spec   lab.Spec `json:"spec"`
-	// TimeoutMs bounds this run's wall-clock time on the server
-	// (0 = server default). The deadline propagates through
-	// lab.ResultContext into the simulator's cycle loop; an expired
-	// run answers 504 and is not cached.
-	TimeoutMs int64 `json:"timeout_ms,omitempty"`
-}
-
-// RunResponse carries one simulation result. Key is the server-side
-// cache key of the decoded spec; clients compare it against their own
-// Key() to detect wire-format skew before trusting the result.
-type RunResponse struct {
-	Key    string      `json:"key"`
-	Result *cpu.Result `json:"result"`
-}
-
-// CampaignRequest asks for a batch of simulations. The batch is
-// admitted as a unit (it either fits the queue or is rejected whole
-// with 429) and fans out across the server's worker pool; results come
-// back in request order.
-type CampaignRequest struct {
-	Schema int        `json:"schema"`
-	Specs  []lab.Spec `json:"specs"`
-	// TimeoutMs bounds the whole batch (0 = server default).
-	TimeoutMs int64 `json:"timeout_ms,omitempty"`
-}
-
-// CampaignItem is one result of a campaign, in request order. Exactly
-// one of Result and Err is set: a failed item does not fail the batch.
-type CampaignItem struct {
-	Key    string      `json:"key"`
-	Result *cpu.Result `json:"result,omitempty"`
-	Err    string      `json:"error,omitempty"`
-}
-
-// CampaignResponse carries a campaign's results in request order.
-type CampaignResponse struct {
-	Items []CampaignItem `json:"items"`
-}
-
-// ErrorResponse is the body of every non-2xx answer.
-type ErrorResponse struct {
-	Error string `json:"error"`
-}
-
-// Health is the /healthz body. Status is "ok" (HTTP 200) or
-// "draining" (HTTP 503) — a draining server finishes admitted work but
-// refuses new simulations, so load balancers should stop routing to it.
-type Health struct {
-	Status     string  `json:"status"`
-	UptimeSecs float64 `json:"uptime_secs"`
-	Pending    int64   `json:"pending"`
-	InFlight   int     `json:"in_flight_sims"`
-}
-
-// LabMetrics is the scheduler/cache section of /metrics, lifted from
-// lab.Counters. HitRatio is the fraction of successful acquisitions
-// served from a cache (memo table or persistent store).
-type LabMetrics struct {
-	Fresh    uint64  `json:"fresh"`
-	DiskHits uint64  `json:"disk_hits"`
-	MemHits  uint64  `json:"mem_hits"`
-	Errors   uint64  `json:"errors"`
-	Canceled uint64  `json:"canceled"`
-	HitRatio float64 `json:"hit_ratio"`
-}
-
-// StoreMetrics is the store-lifecycle section of /metrics, present
-// when the server's result store runs with a size bound
-// (-store-max-bytes): tracked on-disk bytes, the bound, eviction
-// count, and how many records are pinned by an open journal (pinned
-// records are never evicted).
-type StoreMetrics struct {
-	Bytes     int64  `json:"store_bytes"`
-	MaxBytes  int64  `json:"store_max_bytes"`
-	Evictions uint64 `json:"evictions"`
-	Pinned    int    `json:"pinned"`
-}
-
-// JournalMetrics is the crash-safety section of /metrics, present when
-// the process runs with a campaign journal (-journal): result frames
-// currently in the journal and how many of them were resumed (replayed
-// at startup) rather than appended by this process.
-type JournalMetrics struct {
-	Frames  uint64 `json:"frames"`
-	Resumed uint64 `json:"resumed"`
-}
-
-// Metrics is the /metrics body: admission-control state, request and
-// response counts, the scheduler's cache counters, and the per-bucket
-// stall-cycle totals summed over every result this server has served
-// (map keys are the canonical obs bucket names; encoding/json emits
-// them sorted, so the body is stable).
-type Metrics struct {
-	Schema     int     `json:"schema"`
-	UptimeSecs float64 `json:"uptime_secs"`
-	Draining   bool    `json:"draining"`
-
-	Workers    int   `json:"workers"`
-	QueueDepth int   `json:"queue_depth"`
-	Pending    int64 `json:"pending"`
-	InFlight   int   `json:"in_flight_sims"`
-	// MeanRunMs is the mean latency of the most recent runs (memo
-	// hits included) — the signal behind the 429 Retry-After hint.
-	MeanRunMs float64 `json:"mean_run_ms"`
-	// RetryAfterSecs is the hint a 429 would carry right now:
-	// pending × mean run latency ÷ workers, clamped.
-	RetryAfterSecs int `json:"retry_after_secs"`
-
-	Requests  map[string]uint64 `json:"requests"`
-	Responses map[string]uint64 `json:"responses"`
-
-	Lab    LabMetrics        `json:"lab"`
-	Stalls map[string]uint64 `json:"stall_cycles"`
-
-	// Store is present when the result store has a size bound; Journal
-	// when the daemon runs with a campaign journal.
-	Store   *StoreMetrics   `json:"store,omitempty"`
-	Journal *JournalMetrics `json:"journal,omitempty"`
-}
